@@ -1,0 +1,189 @@
+//! BRITE-style hybrid generator (Medina–Lakhina–Matta–Byers, MASCOTS'01 —
+//! reference \[23\] in the paper).
+//!
+//! BRITE combines incremental growth, preferential connectivity, and
+//! geometric locality: nodes are placed in the plane (optionally with
+//! skewed density), arrive one at a time, and attach `m` edges to
+//! existing nodes with probability proportional to
+//! `degree(j) · w(d(i, j))`, where `w` is a Waxman distance-decay factor.
+//! It *interpolates* between BA (locality off) and Waxman-like growth
+//! (preference off) — still descriptive: the knobs are fit to data, not
+//! derived from costs.
+
+use hot_geo::bbox::BoundingBox;
+use hot_geo::point::Point;
+use hot_graph::graph::{Graph, NodeId};
+use rand::Rng;
+
+/// BRITE-style parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BriteConfig {
+    /// Final node count.
+    pub n: usize,
+    /// Edges per arriving node.
+    pub m: usize,
+    /// Use degree-preferential attachment.
+    pub preferential: bool,
+    /// Use Waxman locality weighting with this α (ignored if `None`).
+    pub locality_alpha: Option<f64>,
+    /// Placement region.
+    pub region: BoundingBox,
+}
+
+impl Default for BriteConfig {
+    fn default() -> Self {
+        BriteConfig {
+            n: 1000,
+            m: 2,
+            preferential: true,
+            locality_alpha: Some(0.2),
+            region: BoundingBox::unit(),
+        }
+    }
+}
+
+/// Generates a BRITE-style graph; node annotations are placements.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn generate(config: &BriteConfig, rng: &mut impl Rng) -> Graph<Point, f64> {
+    assert!(config.m >= 1, "m must be at least 1");
+    assert!(config.n >= config.m + 1, "need at least m + 1 nodes");
+    let l = config.region.diagonal();
+    let mut g: Graph<Point, f64> = Graph::with_capacity(config.n, config.n * config.m);
+    // Seed clique of m + 1 placed nodes.
+    let seed: Vec<NodeId> = (0..config.m + 1)
+        .map(|_| g.add_node(config.region.sample_uniform(rng)))
+        .collect();
+    for a in 0..seed.len() {
+        for b in a + 1..seed.len() {
+            let d = g.node_weight(seed[a]).dist(g.node_weight(seed[b]));
+            g.add_edge(seed[a], seed[b], d);
+        }
+    }
+    for _ in config.m + 1..config.n {
+        let p = config.region.sample_uniform(rng);
+        // Attachment weights over existing nodes.
+        let existing = g.node_count();
+        let mut weights: Vec<f64> = Vec::with_capacity(existing);
+        for v in g.node_ids() {
+            let pref = if config.preferential { g.degree(v) as f64 } else { 1.0 };
+            let loc = match config.locality_alpha {
+                Some(alpha) => (-g.node_weight(v).dist(&p) / (alpha * l)).exp(),
+                None => 1.0,
+            };
+            weights.push(pref * loc);
+        }
+        let node = g.add_node(p);
+        let mut chosen: Vec<usize> = Vec::with_capacity(config.m);
+        for _ in 0..config.m.min(existing) {
+            let total: f64 = weights
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !chosen.contains(i))
+                .map(|(_, w)| *w)
+                .sum();
+            let mut pick = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
+            let mut target = None;
+            for (i, w) in weights.iter().enumerate() {
+                if chosen.contains(&i) {
+                    continue;
+                }
+                pick -= w;
+                if pick <= 0.0 {
+                    target = Some(i);
+                    break;
+                }
+            }
+            let t = target.unwrap_or_else(|| {
+                (0..existing).find(|i| !chosen.contains(i)).expect("m <= existing")
+            });
+            chosen.push(t);
+            let tv = NodeId(t as u32);
+            let d = g.node_weight(tv).dist(&p);
+            g.add_edge(node, tv, d);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_graph::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generate(&BriteConfig { n: 300, ..BriteConfig::default() }, &mut rng);
+        assert_eq!(g.node_count(), 300);
+        // Seed clique on m+1=3 nodes has 3 edges; 297 arrivals add 2 each.
+        assert_eq!(g.edge_count(), 3 + 297 * 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn locality_shortens_edges() {
+        let local = generate(
+            &BriteConfig { n: 400, locality_alpha: Some(0.05), ..BriteConfig::default() },
+            &mut StdRng::seed_from_u64(2),
+        );
+        let global = generate(
+            &BriteConfig { n: 400, locality_alpha: None, ..BriteConfig::default() },
+            &mut StdRng::seed_from_u64(2),
+        );
+        let mean = |g: &Graph<Point, f64>| g.total_edge_weight(|w| *w) / g.edge_count() as f64;
+        assert!(
+            mean(&local) < 0.7 * mean(&global),
+            "local {} vs global {}",
+            mean(&local),
+            mean(&global)
+        );
+    }
+
+    #[test]
+    fn no_preference_no_locality_is_uniform_attachment() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = BriteConfig {
+            n: 500,
+            m: 1,
+            preferential: false,
+            locality_alpha: None,
+            ..BriteConfig::default()
+        };
+        let g = generate(&config, &mut rng);
+        // Uniform random recursive trees have max degree O(log n).
+        let max_deg = g.degree_sequence().into_iter().max().unwrap();
+        assert!(max_deg < 20, "max degree {}", max_deg);
+    }
+
+    #[test]
+    fn preferential_grows_bigger_hubs_than_uniform() {
+        let hub_of = |pref: bool, seed: u64| {
+            let config = BriteConfig {
+                n: 1500,
+                m: 1,
+                preferential: pref,
+                locality_alpha: None,
+                ..BriteConfig::default()
+            };
+            let g = generate(&config, &mut StdRng::seed_from_u64(seed));
+            g.degree_sequence().into_iter().max().unwrap()
+        };
+        // Averages over a few seeds to dodge variance.
+        let pref: usize = (0..3).map(|s| hub_of(true, s)).sum();
+        let unif: usize = (0..3).map(|s| hub_of(false, s)).sum();
+        assert!(pref > unif, "preferential {} vs uniform {}", pref, unif);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = BriteConfig { n: 200, ..BriteConfig::default() };
+        let a = generate(&cfg, &mut StdRng::seed_from_u64(5));
+        let b = generate(&cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.degree_sequence(), b.degree_sequence());
+    }
+}

@@ -1,0 +1,29 @@
+//! # hot-baselines — the descriptive topology generators
+//!
+//! The paper's §1 argues that the prevailing approach — "matching a
+//! sequence of easily-understood metrics" — is misleading, because a
+//! generator tuned to one metric looks dissimilar on others. To *show*
+//! that (experiment E6), the workspace implements the generators the
+//! paper names, faithful to their published definitions:
+//!
+//! | module | generator | family |
+//! |---|---|---|
+//! | [`random`] | Erdős–Rényi `G(n,p)` / `G(n,m)` | random |
+//! | [`waxman`] | Waxman distance-decay random graph | structural (flat) |
+//! | [`ba`] | Barabási–Albert preferential attachment \[7\] | degree-based |
+//! | [`glp`] | Bu–Towsley Generalized Linear Preference \[8\] | degree-based |
+//! | [`plrg`] | Aiello–Chung–Lu power-law random graph \[1\] | degree-based |
+//! | [`transit_stub`] | GT-ITM-style transit-stub hierarchy \[33\] | structural |
+//! | [`brite`] | BRITE-style locality + preference \[23\] | hybrid |
+//!
+//! All generators are deterministic given a seeded RNG and return plain
+//! [`hot_graph::Graph`] values so the metric suite treats every generator
+//! identically.
+
+pub mod ba;
+pub mod brite;
+pub mod glp;
+pub mod plrg;
+pub mod random;
+pub mod transit_stub;
+pub mod waxman;

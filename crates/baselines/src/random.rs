@@ -1,0 +1,122 @@
+//! Erdős–Rényi random graphs: `G(n, p)` and `G(n, m)`.
+//!
+//! The null model everything else is compared against: homogeneous,
+//! Poisson-degree, no geography, no design.
+
+use hot_graph::graph::{Graph, NodeId};
+use rand::Rng;
+
+/// `G(n, p)`: each of the `n·(n−1)/2` possible edges appears independently
+/// with probability `p`.
+pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph<(), ()> {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut g = Graph::with_capacity(n, (p * (n * n) as f64 / 2.0) as usize);
+    for _ in 0..n {
+        g.add_node(());
+    }
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.random_range(0.0..1.0) < p {
+                g.add_edge(NodeId(a as u32), NodeId(b as u32), ());
+            }
+        }
+    }
+    g
+}
+
+/// `G(n, m)`: exactly `m` distinct edges chosen uniformly among all pairs.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible edges.
+pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Graph<(), ()> {
+    let possible = n * n.saturating_sub(1) / 2;
+    assert!(m <= possible, "m = {} exceeds {} possible edges", m, possible);
+    let mut g = Graph::with_capacity(n, m);
+    for _ in 0..n {
+        g.add_node(());
+    }
+    // Rejection sampling is fine for the densities we use (m << n²/2);
+    // fall back to explicit enumeration when m is close to the maximum.
+    if m * 3 >= possible * 2 {
+        // Dense: shuffle all pairs.
+        let mut pairs = Vec::with_capacity(possible);
+        for a in 0..n {
+            for b in a + 1..n {
+                pairs.push((a, b));
+            }
+        }
+        for i in 0..m {
+            let j = rng.random_range(i..pairs.len());
+            pairs.swap(i, j);
+            let (a, b) = pairs[i];
+            g.add_edge(NodeId(a as u32), NodeId(b as u32), ());
+        }
+    } else {
+        let mut used = std::collections::HashSet::with_capacity(m * 2);
+        while g.edge_count() < m {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if used.insert(key) {
+                g.add_edge(NodeId(key.0 as u32), NodeId(key.1 as u32), ());
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = gnp(10, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = gnp(10, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnp(100, 0.1, &mut rng);
+        // Expectation 495; allow wide slack.
+        assert!(g.edge_count() > 350 && g.edge_count() < 650, "{} edges", g.edge_count());
+    }
+
+    #[test]
+    fn gnm_exact_count_sparse_and_dense() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sparse = gnm(50, 30, &mut rng);
+        assert_eq!(sparse.edge_count(), 30);
+        let dense = gnm(10, 44, &mut rng);
+        assert_eq!(dense.edge_count(), 44);
+        // No duplicate edges.
+        let mut seen = std::collections::HashSet::new();
+        for (_, a, b, _) in dense.edges() {
+            assert!(seen.insert((a.index().min(b.index()), a.index().max(b.index()))));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_too_many_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gnp(40, 0.2, &mut StdRng::seed_from_u64(9));
+        let b = gnp(40, 0.2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.degree_sequence(), b.degree_sequence());
+    }
+}

@@ -1,0 +1,61 @@
+//! Substrate micro-benchmarks: the hot-graph primitives everything else
+//! leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hot_graph::betweenness::betweenness;
+use hot_graph::flow::max_flow;
+use hot_graph::graph::{Graph, NodeId};
+use hot_graph::kcore::coreness;
+use hot_graph::mst::{kruskal, prim};
+use hot_graph::shortest_path::dijkstra;
+use hot_graph::spectral::spectral_radius;
+use std::hint::black_box;
+
+/// A w×h grid graph with deterministic wobbled weights.
+fn grid(w: usize, h: usize) -> Graph<(), f64> {
+    let mut g: Graph<(), f64> = Graph::with_capacity(w * h, 2 * w * h);
+    for _ in 0..w * h {
+        g.add_node(());
+    }
+    let id = |x: usize, y: usize| NodeId((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            let wobble = 1.0 + ((x * 7 + y * 13) % 10) as f64 / 10.0;
+            if x + 1 < w {
+                g.add_edge(id(x, y), id(x + 1, y), wobble);
+            }
+            if y + 1 < h {
+                g.add_edge(id(x, y), id(x, y + 1), wobble + 0.3);
+            }
+        }
+    }
+    g
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let g = grid(50, 50); // 2500 nodes, ~4900 edges
+    let mut group = c.benchmark_group("graph_grid50x50");
+    group.bench_function("dijkstra", |b| {
+        b.iter(|| black_box(dijkstra(&g, NodeId(0), |_, w| *w)))
+    });
+    group.bench_function("kruskal", |b| b.iter(|| black_box(kruskal(&g, |w| *w))));
+    group.bench_function("prim", |b| b.iter(|| black_box(prim(&g, NodeId(0), |w| *w))));
+    group.bench_function("coreness", |b| b.iter(|| black_box(coreness(&g))));
+    group.bench_function("maxflow_corners", |b| {
+        let t = NodeId((g.node_count() - 1) as u32);
+        b.iter(|| black_box(max_flow(&g, NodeId(0), t, |w| *w)))
+    });
+    group.finish();
+
+    let small = grid(20, 20);
+    let mut heavy = c.benchmark_group("graph_grid20x20_heavy");
+    heavy.sample_size(10);
+    heavy.bench_function("betweenness", |b| b.iter(|| black_box(betweenness(&small))));
+    heavy.bench_function("spectral_radius", |b| {
+        b.iter(|| black_box(spectral_radius(&small)))
+    });
+    heavy.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Simulation micro-benchmarks: routing, failure sweeps, policy routing,
+//! and map inference on workspace-generated topologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hot_baselines::ba;
+use hot_core::isp::generator::IspConfig;
+use hot_core::peering::{generate_internet, InternetConfig};
+use hot_graph::graph::NodeId;
+use hot_sim::bgp::{policy_inflation, AsNetwork};
+use hot_sim::routing::{route, Demand, IgpMetric};
+use hot_sim::traceroute::{infer_map, strided_vantages};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn demands(n: usize, pairs: usize) -> Vec<Demand> {
+    let stride = ((n as f64 * 0.618_033_9) as usize).max(1);
+    let (mut a, mut b) = (0usize, stride % n);
+    (0..pairs)
+        .map(|_| {
+            if a == b {
+                b = (b + 1) % n;
+            }
+            let d = Demand {
+                src: NodeId(a as u32),
+                dst: NodeId(b as u32),
+                amount: 1.0,
+            };
+            a = (a + 1) % n;
+            b = (b + stride) % n;
+            d
+        })
+        .collect()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let g = ba::generate(1000, 2, &mut StdRng::seed_from_u64(1));
+    let dem = demands(1000, 500);
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    group.bench_function("route_500_demands_ba1000", |b| {
+        b.iter(|| black_box(route(&g, &dem, IgpMetric::HopCount, |_, _| 1.0)))
+    });
+    group.bench_function("infer_map_8_vantages_ba1000", |b| {
+        let vantages = strided_vantages(&g, 8);
+        b.iter(|| black_box(infer_map(&g, &vantages, None, |_| 1.0)))
+    });
+    let (census, traffic) = hot_bench::standard_geography(20, 2);
+    let net = generate_internet(
+        &census,
+        &traffic,
+        &InternetConfig {
+            n_isps: 30,
+            max_pops: 8,
+            customers_per_pop: 5,
+            isp_template: IspConfig::default(),
+            ..InternetConfig::default()
+        },
+        &mut StdRng::seed_from_u64(3),
+    );
+    let asn = AsNetwork::from_internet(&net);
+    group.bench_function("policy_inflation_30_ases", |b| {
+        b.iter(|| black_box(policy_inflation(&asn)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

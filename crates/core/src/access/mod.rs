@@ -1,0 +1,22 @@
+//! Classic local-access design heuristics (§4, refs \[6\] and \[18\]).
+//!
+//! The paper notes that the access design problem "was originally studied
+//! in the context of planning local telecommunication access" and that
+//! early Internet topologies piggybacked on those design principles
+//! (footnote 6). This module implements the two workhorse heuristics from
+//! that literature:
+//!
+//! - [`esau_williams`]: the Esau–Williams capacitated-MST heuristic for
+//!   multipoint line layout — the canonical solution to "connect terminals
+//!   to a center with bounded shared-line capacity";
+//! - [`concentrator`]: greedy (un)capacitated concentrator/facility
+//!   location — "where do we install aggregation equipment", which the ISP
+//!   generator uses to place distribution hubs inside each metro.
+
+//!
+//! [`ring`] adds the Level-2 alternative the paper's §2.4 asks about:
+//! SONET-style survivable metro rings, for tree-vs-ring ablations.
+
+pub mod concentrator;
+pub mod esau_williams;
+pub mod ring;

@@ -1,0 +1,212 @@
+//! SONET/SDH-style metro rings — the Level-2 technology question.
+//!
+//! §2.4 of the paper asks "how important the careful incorporation of
+//! Level-2 technologies and economics is", noting that IP-level
+//! measurements say nothing about the link layer. The dominant metro
+//! Level-2 design of the paper's era was the SONET ring: every node sits
+//! on a fiber cycle, so any single cut is survivable by wrapping traffic
+//! the other way — survivability bought with extra fiber instead of
+//! mesh links.
+//!
+//! This module designs such rings (nearest-neighbor tour + 2-opt) so the
+//! ablation experiments can compare the tree world (buy-at-bulk /
+//! Esau–Williams: cheapest, 1-connected) against the ring world
+//! (SONET: pricier fiber, survivable by construction). An IP-level
+//! observer sees *very* different graphs depending on that Level-2
+//! choice — which is exactly the paper's warning.
+
+use hot_geo::point::Point;
+use hot_graph::graph::{Graph, NodeId};
+
+/// A metro ring: an ordering of all nodes (center first) forming a cycle.
+#[derive(Clone, Debug)]
+pub struct RingSolution {
+    /// Visit order; `order[0]` is the center (index `terminals.len()` in
+    /// the instance convention below), each entry an instance node index.
+    pub order: Vec<usize>,
+    /// Total cycle length.
+    pub total_length: f64,
+}
+
+/// Designs a ring through `center` and all `terminals`:
+/// nearest-neighbor construction followed by 2-opt improvement until a
+/// local optimum (or `max_rounds` passes).
+///
+/// Instance node indexing: `0..terminals.len()` are terminals, and
+/// `terminals.len()` is the center.
+pub fn design_ring(center: Point, terminals: &[Point], max_rounds: usize) -> RingSolution {
+    let n = terminals.len();
+    let pt = |i: usize| if i == n { center } else { terminals[i] };
+    if n == 0 {
+        return RingSolution { order: vec![n], total_length: 0.0 };
+    }
+    // Nearest-neighbor tour from the center.
+    let mut order = Vec::with_capacity(n + 1);
+    let mut used = vec![false; n + 1];
+    order.push(n);
+    used[n] = true;
+    let mut cur = n;
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&i| !used[i])
+            .min_by(|&a, &b| {
+                pt(cur).dist(&pt(a)).partial_cmp(&pt(cur).dist(&pt(b))).expect("no NaN")
+            })
+            .expect("unvisited terminal exists");
+        order.push(next);
+        used[next] = true;
+        cur = next;
+    }
+    // 2-opt: reverse segments while it shortens the cycle.
+    let m = order.len();
+    if m >= 4 {
+        for _ in 0..max_rounds {
+            let mut improved = false;
+            for i in 0..m - 1 {
+                for j in i + 2..m {
+                    // Edges (i, i+1) and (j, j+1 mod m); skip the wrap pair.
+                    let jn = (j + 1) % m;
+                    if jn == i {
+                        continue;
+                    }
+                    let (a, b) = (order[i], order[i + 1]);
+                    let (c, d) = (order[j], order[jn]);
+                    let before = pt(a).dist(&pt(b)) + pt(c).dist(&pt(d));
+                    let after = pt(a).dist(&pt(c)) + pt(b).dist(&pt(d));
+                    if after + 1e-12 < before {
+                        order[i + 1..=j].reverse();
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+    let total_length = cycle_length(&order, &pt);
+    RingSolution { order, total_length }
+}
+
+fn cycle_length(order: &[usize], pt: &impl Fn(usize) -> Point) -> f64 {
+    if order.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for w in order.windows(2) {
+        total += pt(w[0]).dist(&pt(w[1]));
+    }
+    total + pt(order[order.len() - 1]).dist(&pt(order[0]))
+}
+
+impl RingSolution {
+    /// Materializes the ring as a graph (node ids = instance indices,
+    /// center last) with edge weights = lengths. A single terminal yields
+    /// a doubled center↔terminal edge — the degenerate "ring" SONET
+    /// actually builds (working + protect fiber on one span).
+    pub fn to_graph(&self, center: Point, terminals: &[Point]) -> Graph<(), f64> {
+        let n = terminals.len();
+        let pt = |i: usize| if i == n { center } else { terminals[i] };
+        let mut g: Graph<(), f64> = Graph::with_capacity(n + 1, n + 1);
+        for _ in 0..=n {
+            g.add_node(());
+        }
+        if self.order.len() == 2 {
+            let (a, b) = (self.order[0], self.order[1]);
+            let d = pt(a).dist(&pt(b));
+            g.add_edge(NodeId(a as u32), NodeId(b as u32), d);
+            g.add_edge(NodeId(a as u32), NodeId(b as u32), d);
+            return g;
+        }
+        if self.order.len() >= 3 {
+            for k in 0..self.order.len() {
+                let a = self.order[k];
+                let b = self.order[(k + 1) % self.order.len()];
+                g.add_edge(NodeId(a as u32), NodeId(b as u32), pt(a).dist(&pt(b)));
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_graph::flow::is_k_edge_connected;
+    use hot_graph::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn square_terminals() -> Vec<Point> {
+        vec![Point::new(1.0, 0.0), Point::new(1.0, 1.0), Point::new(0.0, 1.0)]
+    }
+
+    #[test]
+    fn ring_on_square_is_perimeter() {
+        // Center at origin + three corners of the unit square: the optimal
+        // cycle is the perimeter, length 4.
+        let sol = design_ring(Point::new(0.0, 0.0), &square_terminals(), 10);
+        assert!((sol.total_length - 4.0).abs() < 1e-9, "length {}", sol.total_length);
+        assert_eq!(sol.order.len(), 4);
+        assert_eq!(sol.order[0], 3); // center first
+    }
+
+    #[test]
+    fn ring_graph_is_two_edge_connected_cycle() {
+        let terminals = square_terminals();
+        let sol = design_ring(Point::new(0.0, 0.0), &terminals, 10);
+        let g = sol.to_graph(Point::new(0.0, 0.0), &terminals);
+        assert!(is_connected(&g));
+        assert!(g.degree_sequence().iter().all(|&d| d == 2));
+        assert!(is_k_edge_connected(&g, 2), "SONET ring must survive one cut");
+    }
+
+    #[test]
+    fn two_opt_never_worse_than_nearest_neighbor() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let terminals: Vec<Point> = (0..25)
+                .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                .collect();
+            let nn_only = design_ring(Point::new(0.5, 0.5), &terminals, 0);
+            let improved = design_ring(Point::new(0.5, 0.5), &terminals, 20);
+            assert!(improved.total_length <= nn_only.total_length + 1e-9);
+            // The ring must visit every node exactly once.
+            let mut sorted = improved.order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..=25).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let empty = design_ring(Point::new(0.0, 0.0), &[], 5);
+        assert_eq!(empty.total_length, 0.0);
+        let one = design_ring(Point::new(0.0, 0.0), &[Point::new(3.0, 4.0)], 5);
+        // Out-and-back: 2 * 5.
+        assert!((one.total_length - 10.0).abs() < 1e-9);
+        let g = one.to_graph(Point::new(0.0, 0.0), &[Point::new(3.0, 4.0)]);
+        assert_eq!(g.edge_count(), 2); // working + protect fiber
+        assert!(is_k_edge_connected(&g, 2));
+    }
+
+    #[test]
+    fn ring_costs_more_fiber_than_tree() {
+        // Survivability premium: the ring through clustered terminals is
+        // longer than the Esau-Williams tree over the same instance.
+        use crate::access::esau_williams::{solve, CmstInstance};
+        let mut rng = StdRng::seed_from_u64(2);
+        let terminals: Vec<Point> = (0..30)
+            .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        let center = Point::new(0.5, 0.5);
+        let ring = design_ring(center, &terminals, 20);
+        let tree = solve(&CmstInstance {
+            center,
+            terminals: terminals.clone(),
+            demands: vec![1.0; 30],
+            capacity: 1e9,
+        });
+        assert!(ring.total_length > tree.total_length, "ring {} vs tree {}", ring.total_length, tree.total_length);
+    }
+}

@@ -1,0 +1,352 @@
+//! Local-search improvement and classic baselines for buy-at-bulk.
+//!
+//! - [`improve`]: best-improvement reparenting local search. A move
+//!   detaches a customer's subtree and re-hangs it under a different node;
+//!   the cost delta is evaluated exactly (flows change only on the two
+//!   root paths below the LCA, so evaluation is O(depth)).
+//! - [`star`]: the direct-connection baseline (every customer straight to
+//!   the sink) — what an ISP with no aggregation would build.
+//! - [`mst_route`]: build the Euclidean MST over sink + customers, then
+//!   route and provision on it — the classic "minimize fiber, ignore
+//!   flow-dependent cost" baseline from the MCST access-design family.
+//!
+//! Experiment E4 compares all of these (plus MMP and the exact optimum)
+//! on matched instances.
+
+use super::problem::{AccessNetwork, Instance};
+use hot_graph::graph::{Graph, NodeId};
+use hot_graph::mst::kruskal;
+use hot_graph::tree::RootedTree;
+
+/// The direct star baseline.
+pub fn star(instance: &Instance) -> AccessNetwork {
+    AccessNetwork::star(instance.n_customers())
+}
+
+/// MST-then-route baseline: Euclidean minimum spanning tree over
+/// sink ∪ customers, rooted at the sink, provisioned by aggregate flow.
+pub fn mst_route(instance: &Instance) -> AccessNetwork {
+    let m = instance.n_customers() + 1;
+    let mut g: Graph<(), f64> = Graph::with_capacity(m, m * (m - 1) / 2);
+    for _ in 0..m {
+        g.add_node(());
+    }
+    for a in 0..m {
+        for b in a + 1..m {
+            let d = instance.node_point(a).dist(&instance.node_point(b));
+            g.add_edge(NodeId(a as u32), NodeId(b as u32), d);
+        }
+    }
+    let forest = kruskal(&g, |w| *w);
+    let tree_graph = {
+        let mut keep = vec![false; g.edge_count()];
+        for e in &forest.edges {
+            keep[e.index()] = true;
+        }
+        g.edge_subgraph(&keep)
+    };
+    let tree = RootedTree::from_graph(&tree_graph, NodeId(0)).expect("MST spans the nodes");
+    let mut parents = vec![0usize; m];
+    for v in 1..m {
+        parents[v] = tree.parent(NodeId(v as u32)).expect("non-root").index();
+    }
+    AccessNetwork::from_parents(&parents)
+}
+
+/// Result of a local-search run.
+#[derive(Clone, Debug)]
+pub struct ImproveOutcome {
+    /// The improved solution.
+    pub solution: AccessNetwork,
+    /// Cost before the search.
+    pub initial_cost: f64,
+    /// Cost after the search.
+    pub final_cost: f64,
+    /// Number of applied moves.
+    pub moves: usize,
+}
+
+/// Best-improvement reparenting local search from `start`.
+///
+/// Stops at a local optimum or after `max_moves` applied moves. Runtime is
+/// O(n² · depth) per applied move.
+pub fn improve(instance: &Instance, start: &AccessNetwork, max_moves: usize) -> ImproveOutcome {
+    let n = instance.n_customers();
+    let m = n + 1;
+    let initial_cost = start.total_cost(instance);
+    // Mutable tree state as a parent array.
+    let mut parent = vec![0usize; m];
+    for v in 1..m {
+        parent[v] = start.tree.parent(NodeId(v as u32)).expect("non-root").index();
+    }
+    // Uplink flows per node (index 0 = total demand, unused).
+    let mut flow = {
+        let f = start.uplink_flows(instance);
+        debug_assert_eq!(f.len(), m);
+        f
+    };
+    let length = |a: usize, b: usize| instance.node_point(a).dist(&instance.node_point(b));
+    let edge_cost =
+        |a: usize, b: usize, x: f64| instance.cost.cost(length(a, b), x);
+    let mut moves = 0;
+    let mut current_cost = initial_cost;
+    while moves < max_moves {
+        let depth = compute_depths(&parent);
+        let mut best: Option<(usize, usize, f64)> = None; // (v, new_parent, delta)
+        for v in 1..m {
+            let old_p = parent[v];
+            let moved_flow = flow[v];
+            for u in 0..m {
+                if u == v || u == old_p || in_subtree(&parent, u, v) {
+                    continue;
+                }
+                let delta = move_delta(
+                    &parent, &flow, &depth, v, old_p, u, moved_flow, &edge_cost,
+                );
+                if delta < -1e-9 && best.map_or(true, |(_, _, d)| delta < d) {
+                    best = Some((v, u, delta));
+                }
+            }
+        }
+        let Some((v, u, delta)) = best else { break };
+        // Apply: update flows along the two root paths below the LCA.
+        let moved = flow[v];
+        apply_flow_update(&mut flow, &parent, parent[v], moved, -1.0);
+        apply_flow_update(&mut flow, &parent, u, moved, 1.0);
+        parent[v] = u;
+        current_cost += delta;
+        moves += 1;
+    }
+    let solution = AccessNetwork::from_parents(&parent);
+    debug_assert!((solution.total_cost(instance) - current_cost).abs() < 1e-6 * (1.0 + current_cost.abs()));
+    ImproveOutcome {
+        final_cost: solution.total_cost(instance),
+        solution,
+        initial_cost,
+        moves,
+    }
+}
+
+/// Convenience: MMP then local search.
+pub fn mmp_plus_improve(
+    instance: &Instance,
+    rng: &mut impl rand::Rng,
+    max_moves: usize,
+) -> ImproveOutcome {
+    let start = super::mmp::solve(instance, rng);
+    improve(instance, &start, max_moves)
+}
+
+/// Depth of every node under the parent array (root = 0 at depth 0).
+fn compute_depths(parent: &[usize]) -> Vec<u32> {
+    let m = parent.len();
+    let mut depth = vec![u32::MAX; m];
+    depth[0] = 0;
+    for v in 1..m {
+        // Walk up until a known depth, then unwind.
+        let mut path = vec![v];
+        let mut cur = v;
+        while depth[cur] == u32::MAX {
+            cur = parent[cur];
+            path.push(cur);
+        }
+        let mut d = depth[cur];
+        for &w in path.iter().rev().skip(1) {
+            d += 1;
+            depth[w] = d;
+        }
+    }
+    depth
+}
+
+/// Whether `u` lies in the subtree rooted at `v` (inclusive).
+fn in_subtree(parent: &[usize], mut u: usize, v: usize) -> bool {
+    loop {
+        if u == v {
+            return true;
+        }
+        if u == 0 {
+            return false;
+        }
+        u = parent[u];
+    }
+}
+
+/// Exact cost delta of reparenting `v` (carrying `moved_flow`) from
+/// `old_p` to `new_p`.
+///
+/// Flows change by −`moved_flow` on the path `old_p → LCA` and by
+/// +`moved_flow` on `new_p → LCA`, where LCA is the lowest common ancestor
+/// of `old_p` and `new_p`; above the LCA the net change is zero. The edge
+/// `(v, old_p)` is replaced by `(v, new_p)`.
+#[allow(clippy::too_many_arguments)]
+fn move_delta(
+    parent: &[usize],
+    flow: &[f64],
+    depth: &[u32],
+    v: usize,
+    old_p: usize,
+    new_p: usize,
+    moved_flow: f64,
+    edge_cost: &impl Fn(usize, usize, f64) -> f64,
+) -> f64 {
+    let mut delta = edge_cost(v, new_p, moved_flow) - edge_cost(v, old_p, moved_flow);
+    // Climb both paths to their LCA.
+    let (mut a, mut b) = (old_p, new_p);
+    while depth[a] > depth[b] {
+        let pa = parent[a];
+        delta += edge_cost(a, pa, flow[a] - moved_flow) - edge_cost(a, pa, flow[a]);
+        a = pa;
+    }
+    while depth[b] > depth[a] {
+        let pb = parent[b];
+        delta += edge_cost(b, pb, flow[b] + moved_flow) - edge_cost(b, pb, flow[b]);
+        b = pb;
+    }
+    while a != b {
+        let pa = parent[a];
+        delta += edge_cost(a, pa, flow[a] - moved_flow) - edge_cost(a, pa, flow[a]);
+        a = pa;
+        let pb = parent[b];
+        delta += edge_cost(b, pb, flow[b] + moved_flow) - edge_cost(b, pb, flow[b]);
+        b = pb;
+    }
+    delta
+}
+
+/// Adds `sign × amount` to the uplink flows on the path `from → root`.
+fn apply_flow_update(flow: &mut [f64], parent: &[usize], from: usize, amount: f64, sign: f64) {
+    let mut cur = from;
+    while cur != 0 {
+        flow[cur] += sign * amount;
+        cur = parent[cur];
+    }
+    flow[0] += 0.0; // total demand unchanged by reparenting
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buyatbulk::problem::Customer;
+    use hot_econ::cable::CableCatalog;
+    use hot_econ::cost::LinkCost;
+    use hot_geo::point::Point;
+    use hot_graph::tree::is_tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cost() -> LinkCost {
+        LinkCost::cables_only(CableCatalog::realistic_2003())
+    }
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Instance::random_uniform(n, 20.0, cost(), &mut rng)
+    }
+
+    #[test]
+    fn star_and_mst_are_trees() {
+        let inst = random_instance(25, 1);
+        assert!(is_tree(&star(&inst).to_graph(&inst)));
+        assert!(is_tree(&mst_route(&inst).to_graph(&inst)));
+    }
+
+    #[test]
+    fn mst_route_minimizes_length_not_cost() {
+        let inst = random_instance(25, 2);
+        let mst = mst_route(&inst);
+        let st = star(&inst);
+        let total_len = |s: &AccessNetwork| {
+            (1..s.len())
+                .map(|v| {
+                    let p = s.tree.parent(NodeId(v as u32)).unwrap().index();
+                    inst.node_point(v).dist(&inst.node_point(p))
+                })
+                .sum::<f64>()
+        };
+        assert!(total_len(&mst) < total_len(&st));
+    }
+
+    #[test]
+    fn improve_never_worsens() {
+        for seed in 0..5u64 {
+            let inst = random_instance(20, seed);
+            let start = star(&inst);
+            let out = improve(&inst, &start, 200);
+            assert!(out.final_cost <= out.initial_cost + 1e-9);
+            assert!(is_tree(&out.solution.to_graph(&inst)));
+        }
+    }
+
+    #[test]
+    fn improve_reaches_chain_on_collinear_instance() {
+        // Sink at 0, customers at 1, 2, 3 on a line with strong economies
+        // of scale: the optimal tree is the chain; local search must find
+        // it from the star.
+        let inst = Instance::new(
+            Point::new(0.0, 0.0),
+            vec![
+                Customer { location: Point::new(1.0, 0.0), demand: 10.0 },
+                Customer { location: Point::new(2.0, 0.0), demand: 10.0 },
+                Customer { location: Point::new(3.0, 0.0), demand: 10.0 },
+            ],
+            LinkCost::cables_only(CableCatalog::single(1000.0, 100.0, 0.01)),
+        );
+        let out = improve(&inst, &star(&inst), 100);
+        // Chain: node 3 under 2 under 1 under sink.
+        let p = |v: usize| out.solution.tree.parent(NodeId(v as u32)).unwrap().index();
+        assert_eq!(p(1), 0);
+        assert_eq!(p(2), 1);
+        assert_eq!(p(3), 2);
+        assert!(out.moves >= 2);
+    }
+
+    #[test]
+    fn improve_respects_move_budget() {
+        let inst = random_instance(20, 3);
+        let out = improve(&inst, &star(&inst), 1);
+        assert!(out.moves <= 1);
+    }
+
+    #[test]
+    fn delta_evaluation_matches_full_recompute() {
+        // Apply improve with a budget of 1 and compare against recomputed
+        // totals (the debug_assert in improve also checks this, but only
+        // in debug builds; this test is explicit).
+        let inst = random_instance(15, 4);
+        let start = star(&inst);
+        let c0 = start.total_cost(&inst);
+        let out = improve(&inst, &start, 1);
+        if out.moves == 1 {
+            assert!(out.final_cost < c0);
+            assert!((out.solution.total_cost(&inst) - out.final_cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mmp_plus_improve_beats_plain_mmp() {
+        let inst = random_instance(40, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let plain = super::super::mmp::solve(&inst, &mut rng);
+        let plain_cost = plain.total_cost(&inst);
+        let mut rng = StdRng::seed_from_u64(6);
+        let improved = mmp_plus_improve(&inst, &mut rng, 500);
+        assert!(improved.final_cost <= plain_cost + 1e-9);
+    }
+
+    #[test]
+    fn subtree_membership() {
+        // Chain 0 <- 1 <- 2 <- 3.
+        let parent = vec![0, 0, 1, 2];
+        assert!(in_subtree(&parent, 3, 1));
+        assert!(in_subtree(&parent, 2, 2));
+        assert!(!in_subtree(&parent, 1, 3));
+        assert!(!in_subtree(&parent, 0, 1));
+    }
+
+    #[test]
+    fn depths_computed_iteratively() {
+        let parent = vec![0, 0, 1, 2, 2];
+        assert_eq!(compute_depths(&parent), vec![0, 1, 2, 3, 3]);
+    }
+}

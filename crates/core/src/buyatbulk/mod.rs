@@ -1,0 +1,30 @@
+//! Single-sink buy-at-bulk network access design (§4).
+//!
+//! The problem: connect spatially distributed customers, each with a
+//! traffic demand, to a core (sink) node, choosing for every installed
+//! link a cable type from a catalog with economies of scale, such that all
+//! demand is routed to the sink at minimum total cost. Routing and cable
+//! choice are interdependent, so they are solved together. The problem is
+//! NP-hard (Salman et al., SODA'97); the reproduction provides:
+//!
+//! - [`mmp`]: the randomized incremental approximation in the spirit of
+//!   Meyerson–Munagala–Plotkin (FOCS 2000) — the algorithm the paper's
+//!   §4.2 preliminary result uses;
+//! - [`greedy`]: local-search improvement (reparenting moves) and two
+//!   classic baselines (direct star, MST-then-route);
+//! - [`exact`]: exhaustive Prüfer-sequence enumeration for tiny instances,
+//!   used to measure empirical approximation ratios (experiment E4);
+//! - [`problem`]/[`routing`]: the instance/solution types, flow routing,
+//!   and cable assignment shared by all solvers.
+//!
+//! Solutions are trees: with concave (economies-of-scale) costs and a
+//! single sink there is always an optimal solution that is a tree, which
+//! is why the paper's §4.2 observes tree topologies.
+
+pub mod exact;
+pub mod greedy;
+pub mod mmp;
+pub mod problem;
+pub mod routing;
+
+pub use problem::{AccessNetwork, Customer, Instance};

@@ -1,0 +1,91 @@
+//! Design formulations: cost-based vs profit-based (§2.2).
+//!
+//! "In a cost-based formulation, the basic optimization problem is to
+//! build a network that minimizes cost subject to satisfying traffic
+//! demand. Alternatively, a profit-based formulation seeks to build a
+//! network that satisfies demand only up to the point of profitability."
+//!
+//! The two formulations share the whole generation pipeline and differ in
+//! exactly one decision: *which customers get served at all*. That
+//! decision is what this module encodes.
+
+use hot_econ::pricing::{profitable_prefix, PricedCustomer, RevenueModel};
+
+/// The design formulation driving customer selection.
+#[derive(Clone, Copy, Debug)]
+pub enum Formulation {
+    /// Serve every customer; minimize build-out cost.
+    CostBased,
+    /// Serve a customer only while marginal revenue exceeds marginal cost.
+    ProfitBased { revenue: RevenueModel },
+}
+
+impl Formulation {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Formulation::CostBased => "cost-based",
+            Formulation::ProfitBased { .. } => "profit-based",
+        }
+    }
+
+    /// Selects which of the priced candidate customers to serve.
+    ///
+    /// `CostBased` serves everyone regardless of margin; `ProfitBased`
+    /// serves the descending-margin prefix with positive margin.
+    pub fn select_customers(&self, candidates: Vec<PricedCustomer>) -> Vec<usize> {
+        match self {
+            Formulation::CostBased => candidates.into_iter().map(|c| c.customer).collect(),
+            Formulation::ProfitBased { .. } => profitable_prefix(candidates).0,
+        }
+    }
+
+    /// Revenue from a customer with the given demand (0 for cost-based,
+    /// where revenue never enters the objective).
+    pub fn revenue(&self, demand: f64) -> f64 {
+        match self {
+            Formulation::CostBased => 0.0,
+            Formulation::ProfitBased { revenue } => revenue.revenue(demand),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<PricedCustomer> {
+        vec![
+            PricedCustomer { customer: 0, revenue: 10.0, incremental_cost: 5.0 },
+            PricedCustomer { customer: 1, revenue: 10.0, incremental_cost: 50.0 },
+            PricedCustomer { customer: 2, revenue: 10.0, incremental_cost: 1.0 },
+        ]
+    }
+
+    #[test]
+    fn cost_based_serves_everyone() {
+        let selected = Formulation::CostBased.select_customers(candidates());
+        assert_eq!(selected, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn profit_based_serves_profitable_only() {
+        let f = Formulation::ProfitBased {
+            revenue: RevenueModel::FlatPerCustomer { revenue: 10.0 },
+        };
+        let mut selected = f.select_customers(candidates());
+        selected.sort_unstable();
+        assert_eq!(selected, vec![0, 2]);
+    }
+
+    #[test]
+    fn names_and_revenue() {
+        assert_eq!(Formulation::CostBased.name(), "cost-based");
+        let f = Formulation::ProfitBased {
+            revenue: RevenueModel::PerUnitDemand { base: 1.0, per_unit: 2.0 },
+        };
+        assert_eq!(f.name(), "profit-based");
+        assert_eq!(f.revenue(3.0), 7.0);
+        assert_eq!(Formulation::CostBased.revenue(3.0), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The multi-level ISP topology generator (§2.2).
+//!
+//! "Most often, this decomposition comes in the form of network hierarchy
+//! … backbone networks (WANs), distribution networks (MANs), and
+//! customers (LANs)." The generator follows that decomposition exactly:
+//!
+//! 1. **Backbone** ([`backbone`]): POPs at the largest population centers,
+//!    connected by a cost-minimal network with optional redundancy and
+//!    traffic-driven shortcut links, provisioned from a backbone cable
+//!    catalog;
+//! 2. **Metro/distribution** ([`generator`]): concentrators placed by
+//!    facility location, connected to the POP by buy-at-bulk (MMP + local
+//!    search);
+//! 3. **Access**: customers attached to concentrators by Esau–Williams
+//!    capacitated trees.
+//!
+//! Technology constraints enter as a router degree cap (line-card limit):
+//! any router exceeding it is split into co-located chassis — which is
+//! how real big-city POPs end up with multiple core routers.
+
+pub mod backbone;
+pub mod generator;
+
+use hot_geo::point::Point;
+use hot_graph::graph::Graph;
+
+/// The role of a router (or end host) in the ISP hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RouterRole {
+    /// Core router at a POP city (WAN level).
+    Backbone,
+    /// Distribution/concentrator router inside a metro (MAN level).
+    Distribution,
+    /// Customer end point (LAN level).
+    Customer,
+}
+
+/// Node annotation of an ISP topology graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Router {
+    /// Hierarchy role.
+    pub role: RouterRole,
+    /// Index of the city (in the source census) this router belongs to.
+    pub city: usize,
+    /// Geographic location.
+    pub location: Point,
+}
+
+/// The hierarchy level of a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Inter-POP long-haul link.
+    Backbone,
+    /// Intra-metro distribution link (concentrator toward POP).
+    Metro,
+    /// Access link (customer toward concentrator).
+    Access,
+    /// Inter-ISP peering link (added by the peering module).
+    Peering,
+    /// Link between co-located chassis created by a degree split.
+    Chassis,
+}
+
+/// Edge annotation of an ISP topology graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Hierarchy level.
+    pub kind: LinkKind,
+    /// Euclidean length.
+    pub length: f64,
+    /// Traffic carried (design-time estimate).
+    pub flow: f64,
+    /// Installed capacity.
+    pub capacity: f64,
+    /// Name of the installed cable type.
+    pub cable: &'static str,
+}
+
+/// A generated ISP topology: annotated router-level graph plus the
+/// city/POP bookkeeping the peering module needs.
+#[derive(Clone, Debug)]
+pub struct IspTopology {
+    /// The router-level graph.
+    pub graph: Graph<Router, Link>,
+    /// Census city index of each POP.
+    pub pop_cities: Vec<usize>,
+    /// Primary backbone router (graph node) of each POP, aligned with
+    /// `pop_cities`.
+    pub pop_routers: Vec<hot_graph::graph::NodeId>,
+    /// Number of customers that were priced out by a profit-based
+    /// formulation (0 under cost-based).
+    pub rejected_customers: usize,
+}
+
+impl IspTopology {
+    /// Count of routers with the given role.
+    pub fn count_role(&self, role: RouterRole) -> usize {
+        self.graph
+            .node_ids()
+            .filter(|&v| self.graph.node_weight(v).role == role)
+            .count()
+    }
+
+    /// Count of links of the given kind.
+    pub fn count_kind(&self, kind: LinkKind) -> usize {
+        self.graph.edges().filter(|(_, _, _, l)| l.kind == kind).count()
+    }
+
+    /// Degree sequence restricted to routers of one role.
+    pub fn degree_sequence_of(&self, role: RouterRole) -> Vec<usize> {
+        self.graph
+            .node_ids()
+            .filter(|&v| self.graph.node_weight(v).role == role)
+            .map(|v| self.graph.degree(v))
+            .collect()
+    }
+
+    /// Total installed fiber length.
+    pub fn total_length(&self) -> f64 {
+        self.graph.total_edge_weight(|l| l.length)
+    }
+}

@@ -1,0 +1,27 @@
+//! # hot-core — the optimization-driven topology generation framework
+//!
+//! This crate implements the primary contribution of Alderson, Doyle,
+//! Govindan & Willinger (HotNets'03): generating "realistic, but
+//! fictitious" ISP and Internet topologies by (approximately) solving the
+//! optimization problems network designers implicitly solve, instead of
+//! fitting descriptive statistics.
+//!
+//! ## Module map
+//!
+//! | module | paper anchor | contents |
+//! |---|---|---|
+//! | [`formulation`] | §2.2 | cost-based vs profit-based design formulations |
+//! | [`fkp`] | §3.1 | Fabrikant–Koutsoupias–Papadimitriou incremental trade-off growth |
+//! | [`plr`] | §3.1 | Carlson–Doyle probability-loss-resource HOT model |
+//! | [`buyatbulk`] | §4 | single-sink buy-at-bulk access design: MMP approximation, local search, baselines, exact tiny-instance solver |
+//! | [`access`] | §4 (refs \[6\],\[18\]) | classic local-access heuristics: Esau–Williams capacitated MST, concentrator (facility) location |
+//! | [`isp`] | §2.2 | the multi-level (backbone / metro / access) ISP generator |
+//! | [`peering`] | §2.3, §3.2 | multi-ISP assembly, peering selection, AS-graph extraction |
+
+pub mod access;
+pub mod buyatbulk;
+pub mod fkp;
+pub mod formulation;
+pub mod isp;
+pub mod peering;
+pub mod plr;

@@ -1,0 +1,338 @@
+//! The Carlson–Doyle Probability-Loss-Resource (PLR) HOT model.
+//!
+//! §3.1 of the paper rests on Highly Optimized Tolerance (Carlson & Doyle,
+//! PRL 2000 / PNAS 2002): in systems *designed* under trade-offs between
+//! yield, resource cost, and risk tolerance, heavy-tailed event sizes are
+//! the signature of optimization — not of critical phase transitions.
+//!
+//! The canonical demonstration is the one-dimensional PLR problem: a unit
+//! interval of "assets", events (sparks) strike at position `x` with
+//! density `p(x)`; the designer partitions the interval into `N` cells
+//! using `N−1` firebreaks; an event in a cell destroys the whole cell, so
+//! the loss is the cell length. Minimizing expected loss
+//! `Σᵢ P(cellᵢ)·lᵢ` subject to `Σᵢ lᵢ = 1` gives, by Lagrange duality,
+//! optimal cell sizes `lᵢ ∝ p(cellᵢ)^{-1/2}` — small cells where events
+//! are likely, huge cells in quiet regions. Sampling event losses under
+//! the optimal design yields a **power-law** loss distribution for
+//! fast-decaying `p`, while naive designs (uniform grid, random breaks)
+//! yield light-tailed losses. Experiment E5 regenerates this contrast.
+//!
+//! The module works with a discretized density (a fine uniform grid of
+//! `resolution` bins), which makes the Lagrange solution exact up to
+//! discretization and keeps everything deterministic.
+
+use rand::Rng;
+
+/// Event (spark) densities over the unit interval.
+#[derive(Clone, Copy, Debug)]
+pub enum SparkDensity {
+    /// `p(x) ∝ exp(−rate·x)` — the classic PLR example.
+    Exponential { rate: f64 },
+    /// Half-Gaussian `p(x) ∝ exp(−x²/(2σ²))` on `[0,1]`.
+    Gaussian { sigma: f64 },
+    /// Uniform density (no design advantage possible).
+    Uniform,
+}
+
+impl SparkDensity {
+    /// Unnormalized density at `x ∈ [0,1]`.
+    fn raw(&self, x: f64) -> f64 {
+        match *self {
+            SparkDensity::Exponential { rate } => (-rate * x).exp(),
+            SparkDensity::Gaussian { sigma } => (-x * x / (2.0 * sigma * sigma)).exp(),
+            SparkDensity::Uniform => 1.0,
+        }
+    }
+}
+
+/// How firebreaks are placed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Design {
+    /// HOT: cells sized by the Lagrange-optimal rule `lᵢ ∝ p̄ᵢ^{-1/2}`.
+    HotOptimal,
+    /// Equal-size cells (the "generic" design).
+    UniformGrid,
+    /// Breaks placed uniformly at random (the "random ensemble" the
+    /// physics-criticality view would study).
+    RandomBreaks,
+}
+
+/// Configuration of a PLR instance.
+#[derive(Clone, Debug)]
+pub struct PlrConfig {
+    /// Number of cells (resources = `n_cells − 1` firebreaks).
+    pub n_cells: usize,
+    /// Spark density.
+    pub density: SparkDensity,
+    /// Firebreak placement policy.
+    pub design: Design,
+    /// Discretization bins for density integration (≥ `n_cells`).
+    pub resolution: usize,
+}
+
+impl Default for PlrConfig {
+    fn default() -> Self {
+        PlrConfig {
+            n_cells: 100,
+            density: SparkDensity::Exponential { rate: 20.0 },
+            design: Design::HotOptimal,
+            resolution: 100_000,
+        }
+    }
+}
+
+/// A solved PLR design: the cell partition and its statistics.
+#[derive(Clone, Debug)]
+pub struct PlrSolution {
+    /// Cell boundaries `0 = b₀ < b₁ < … < b_N = 1`.
+    pub boundaries: Vec<f64>,
+    /// Probability mass of each cell under the spark density.
+    pub cell_probability: Vec<f64>,
+}
+
+impl PlrSolution {
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Length (= loss if struck) of cell `i`.
+    pub fn cell_loss(&self, i: usize) -> f64 {
+        self.boundaries[i + 1] - self.boundaries[i]
+    }
+
+    /// Expected loss `Σ P(cellᵢ)·lᵢ`.
+    pub fn expected_loss(&self) -> f64 {
+        (0..self.n_cells()).map(|i| self.cell_probability[i] * self.cell_loss(i)).sum()
+    }
+
+    /// Samples `m` event losses: draw a cell by its probability mass,
+    /// suffer its length.
+    pub fn sample_losses(&self, m: usize, rng: &mut impl Rng) -> Vec<f64> {
+        // Build the CDF once.
+        let mut cdf = Vec::with_capacity(self.n_cells());
+        let mut acc = 0.0;
+        for p in &self.cell_probability {
+            acc += p;
+            cdf.push(acc);
+        }
+        let total = acc;
+        (0..m)
+            .map(|_| {
+                let u: f64 = rng.random_range(0.0..total);
+                let idx = cdf.partition_point(|&c| c < u).min(self.n_cells() - 1);
+                self.cell_loss(idx)
+            })
+            .collect()
+    }
+}
+
+/// Solves a PLR instance under the configured design.
+///
+/// # Panics
+///
+/// Panics on zero cells, a resolution below the cell count, or (for
+/// `RandomBreaks`) when no RNG is provided via [`solve_with_rng`].
+pub fn solve(config: &PlrConfig) -> PlrSolution {
+    assert!(config.design != Design::RandomBreaks, "RandomBreaks requires solve_with_rng");
+    solve_inner(config, None::<&mut rand::rngs::ThreadRng>)
+}
+
+/// Like [`solve`], but supports `Design::RandomBreaks`.
+pub fn solve_with_rng(config: &PlrConfig, rng: &mut impl Rng) -> PlrSolution {
+    solve_inner(config, Some(rng))
+}
+
+fn solve_inner(config: &PlrConfig, rng: Option<&mut impl Rng>) -> PlrSolution {
+    assert!(config.n_cells >= 1, "need at least one cell");
+    assert!(config.resolution >= config.n_cells, "resolution must be >= n_cells");
+    let res = config.resolution;
+    let dx = 1.0 / res as f64;
+    // Discretized, normalized density.
+    let mut density: Vec<f64> = (0..res)
+        .map(|i| config.density.raw((i as f64 + 0.5) * dx))
+        .collect();
+    let mass: f64 = density.iter().sum::<f64>() * dx;
+    for d in &mut density {
+        *d /= mass;
+    }
+    let boundaries = match config.design {
+        Design::UniformGrid => {
+            (0..=config.n_cells).map(|i| i as f64 / config.n_cells as f64).collect()
+        }
+        Design::RandomBreaks => {
+            let rng = rng.expect("RandomBreaks requires an RNG");
+            let mut cuts: Vec<f64> =
+                (0..config.n_cells - 1).map(|_| rng.random_range(0.0..1.0)).collect();
+            cuts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let mut b = Vec::with_capacity(config.n_cells + 1);
+            b.push(0.0);
+            b.extend(cuts);
+            b.push(1.0);
+            // Collapse accidental duplicates by nudging (keeps lengths > 0).
+            for i in 1..b.len() {
+                if b[i] <= b[i - 1] {
+                    b[i] = (b[i - 1] + f64::EPSILON).min(1.0);
+                }
+            }
+            b
+        }
+        Design::HotOptimal => hot_optimal_boundaries(&density, dx, config.n_cells),
+    };
+    // Integrate cell probabilities.
+    let mut cell_probability = vec![0.0; config.n_cells];
+    for (i, d) in density.iter().enumerate() {
+        let x = (i as f64 + 0.5) * dx;
+        // Find the cell containing x.
+        let cell = boundaries.partition_point(|&b| b <= x).saturating_sub(1).min(config.n_cells - 1);
+        cell_probability[cell] += d * dx;
+    }
+    PlrSolution { boundaries, cell_probability }
+}
+
+/// Lagrange-optimal boundaries: cell sizes proportional to `p̄^{-1/2}`
+/// where `p̄` is the local density. Implemented by equalizing the measure
+/// `∫ p(x)^{1/2} dx` across cells: if each cell receives the same amount
+/// of `√p` mass, then `lᵢ·√p̄ᵢ` is constant, i.e. `lᵢ ∝ p̄ᵢ^{-1/2}` —
+/// exactly the first-order optimality condition.
+fn hot_optimal_boundaries(density: &[f64], dx: f64, n_cells: usize) -> Vec<f64> {
+    let total_sqrt: f64 = density.iter().map(|d| d.sqrt()).sum::<f64>() * dx;
+    let per_cell = total_sqrt / n_cells as f64;
+    let mut boundaries = Vec::with_capacity(n_cells + 1);
+    boundaries.push(0.0);
+    let mut acc = 0.0;
+    let mut next_target = per_cell;
+    for (i, d) in density.iter().enumerate() {
+        acc += d.sqrt() * dx;
+        while acc >= next_target && boundaries.len() < n_cells {
+            boundaries.push((i as f64 + 1.0) * dx);
+            next_target += per_cell;
+        }
+    }
+    while boundaries.len() < n_cells {
+        // Degenerate densities: pad with the right edge approach.
+        let last = *boundaries.last().expect("non-empty");
+        boundaries.push((last + 1.0) / 2.0);
+    }
+    boundaries.push(1.0);
+    boundaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(design: Design) -> PlrConfig {
+        PlrConfig { n_cells: 50, resolution: 20_000, design, ..PlrConfig::default() }
+    }
+
+    #[test]
+    fn boundaries_well_formed() {
+        for design in [Design::HotOptimal, Design::UniformGrid] {
+            let s = solve(&cfg(design));
+            assert_eq!(s.n_cells(), 50);
+            assert_eq!(s.boundaries[0], 0.0);
+            assert_eq!(*s.boundaries.last().unwrap(), 1.0);
+            for w in s.boundaries.windows(2) {
+                assert!(w[1] > w[0], "{:?}: non-increasing boundary", design);
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let s = solve(&cfg(Design::HotOptimal));
+        let total: f64 = s.cell_probability.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total probability {}", total);
+    }
+
+    #[test]
+    fn hot_beats_uniform_and_random() {
+        // The whole point of HOT: optimized design has lower expected loss.
+        let hot = solve(&cfg(Design::HotOptimal)).expected_loss();
+        let uniform = solve(&cfg(Design::UniformGrid)).expected_loss();
+        let mut rng = StdRng::seed_from_u64(11);
+        let random = solve_with_rng(&cfg(Design::RandomBreaks), &mut rng).expected_loss();
+        assert!(hot < uniform, "hot {} vs uniform {}", hot, uniform);
+        assert!(hot < random, "hot {} vs random {}", hot, random);
+    }
+
+    #[test]
+    fn hot_cells_grow_where_density_decays() {
+        let s = solve(&cfg(Design::HotOptimal));
+        // Exponential density decays in x, so cells near 1.0 must be much
+        // larger than cells near 0.0.
+        let first = s.cell_loss(0);
+        let last = s.cell_loss(s.n_cells() - 1);
+        assert!(last > 5.0 * first, "first {} last {}", first, last);
+    }
+
+    #[test]
+    fn uniform_density_makes_design_irrelevant() {
+        let base = PlrConfig {
+            density: SparkDensity::Uniform,
+            n_cells: 20,
+            resolution: 20_000,
+            ..PlrConfig::default()
+        };
+        let hot = solve(&PlrConfig { design: Design::HotOptimal, ..base.clone() });
+        let uni = solve(&PlrConfig { design: Design::UniformGrid, ..base });
+        assert!((hot.expected_loss() - uni.expected_loss()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sampled_losses_match_cells() {
+        let s = solve(&cfg(Design::HotOptimal));
+        let mut rng = StdRng::seed_from_u64(3);
+        let losses = s.sample_losses(500, &mut rng);
+        assert_eq!(losses.len(), 500);
+        let lengths: Vec<f64> = (0..s.n_cells()).map(|i| s.cell_loss(i)).collect();
+        for l in losses {
+            assert!(lengths.iter().any(|&x| (x - l).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn hot_loss_distribution_heavier_tailed_than_uniform() {
+        // Compare the ratio of the 99th-percentile loss to the median loss:
+        // heavy tails make that ratio large.
+        let mut rng = StdRng::seed_from_u64(5);
+        let tail_ratio = |s: &PlrSolution, rng: &mut StdRng| {
+            let mut losses = s.sample_losses(20_000, rng);
+            losses.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            losses[losses.len() * 99 / 100] / losses[losses.len() / 2]
+        };
+        let hot = solve(&cfg(Design::HotOptimal));
+        let uni = solve(&cfg(Design::UniformGrid));
+        let r_hot = tail_ratio(&hot, &mut rng);
+        let r_uni = tail_ratio(&uni, &mut rng);
+        assert!(r_hot > 3.0 * r_uni, "hot tail {} vs uniform tail {}", r_hot, r_uni);
+    }
+
+    #[test]
+    fn random_breaks_deterministic_given_seed() {
+        let a = solve_with_rng(&cfg(Design::RandomBreaks), &mut StdRng::seed_from_u64(8));
+        let b = solve_with_rng(&cfg(Design::RandomBreaks), &mut StdRng::seed_from_u64(8));
+        assert_eq!(a.boundaries, b.boundaries);
+    }
+
+    #[test]
+    #[should_panic(expected = "RandomBreaks requires solve_with_rng")]
+    fn random_breaks_needs_rng() {
+        solve(&cfg(Design::RandomBreaks));
+    }
+
+    #[test]
+    fn single_cell_degenerate() {
+        let s = solve(&PlrConfig {
+            n_cells: 1,
+            resolution: 100,
+            design: Design::HotOptimal,
+            ..PlrConfig::default()
+        });
+        assert_eq!(s.n_cells(), 1);
+        assert!((s.expected_loss() - 1.0).abs() < 1e-9); // lose everything
+    }
+}

@@ -1,0 +1,107 @@
+//! Customer demand models for access design.
+//!
+//! §4's access problem connects "spatially distributed customers" with
+//! individual traffic needs to core nodes. Demands are heterogeneous in
+//! practice (residential DSL-class vs enterprise trunk-class); we model
+//! them with a bounded Pareto so a few customers dominate — the same
+//! high-variability regularity HOT predicts for demand itself.
+
+use rand::Rng;
+
+/// One customer's demand (traffic units to be carried to the core).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CustomerDemand(pub f64);
+
+impl CustomerDemand {
+    /// The demand value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Demand distribution for synthesizing customer populations.
+#[derive(Clone, Copy, Debug)]
+pub enum DemandModel {
+    /// Every customer demands the same amount.
+    Uniform { demand: f64 },
+    /// Bounded Pareto on `[min, max]` with tail exponent `alpha`
+    /// (α ≈ 1.2 gives realistic high variability).
+    BoundedPareto { min: f64, max: f64, alpha: f64 },
+}
+
+impl DemandModel {
+    /// Draws one demand.
+    pub fn sample(&self, rng: &mut impl Rng) -> CustomerDemand {
+        match *self {
+            DemandModel::Uniform { demand } => CustomerDemand(demand),
+            DemandModel::BoundedPareto { min, max, alpha } => {
+                assert!(min > 0.0 && max > min && alpha > 0.0, "invalid bounded Pareto");
+                // Inverse-CDF sampling of the bounded Pareto.
+                let u: f64 = rng.random_range(0.0..1.0);
+                let la = min.powf(alpha);
+                let ha = max.powf(alpha);
+                let x = (-(u * (ha - la) - ha) / (ha * la)).powf(-1.0 / alpha);
+                CustomerDemand(x.clamp(min, max))
+            }
+        }
+    }
+
+    /// Draws `n` demands.
+    pub fn sample_many(&self, n: usize, rng: &mut impl Rng) -> Vec<CustomerDemand> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = DemandModel::Uniform { demand: 3.5 };
+        for d in m.sample_many(10, &mut rng) {
+            assert_eq!(d.value(), 3.5);
+        }
+    }
+
+    #[test]
+    fn pareto_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DemandModel::BoundedPareto { min: 1.0, max: 100.0, alpha: 1.2 };
+        let samples = m.sample_many(5000, &mut rng);
+        for d in &samples {
+            assert!(d.value() >= 1.0 && d.value() <= 100.0);
+        }
+    }
+
+    #[test]
+    fn pareto_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = DemandModel::BoundedPareto { min: 1.0, max: 1000.0, alpha: 1.2 };
+        let samples = m.sample_many(20_000, &mut rng);
+        let mean = samples.iter().map(|d| d.value()).sum::<f64>() / samples.len() as f64;
+        let mut values: Vec<f64> = samples.iter().map(|d| d.value()).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = values[values.len() / 2];
+        // Heavy tail: mean well above median.
+        assert!(mean > 2.0 * median, "mean {} median {}", mean, median);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounded Pareto")]
+    fn bad_pareto_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        DemandModel::BoundedPareto { min: 5.0, max: 1.0, alpha: 1.0 }.sample(&mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = DemandModel::BoundedPareto { min: 1.0, max: 10.0, alpha: 1.5 };
+        let a = m.sample_many(50, &mut StdRng::seed_from_u64(7));
+        let b = m.sample_many(50, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+//! Revenue models and the profit-based formulation's stopping rule.
+//!
+//! §2.2: "a profit-based formulation seeks to build a network that
+//! satisfies demand only up to the point of profitability — that is,
+//! economically speaking where marginal revenue meets marginal cost."
+//! The generator uses [`profitable_prefix`] to decide *which* customers a
+//! profit-maximizing ISP serves at all, given each customer's revenue and
+//! the incremental cost of attaching them.
+
+/// Revenue model: what an ISP earns from serving a customer of a given
+/// demand.
+#[derive(Clone, Copy, Debug)]
+pub enum RevenueModel {
+    /// Flat monthly-equivalent revenue per customer, independent of demand.
+    FlatPerCustomer { revenue: f64 },
+    /// Revenue proportional to demand (usage pricing), optionally with a
+    /// flat base.
+    PerUnitDemand { base: f64, per_unit: f64 },
+}
+
+impl RevenueModel {
+    /// Revenue from one customer with the given demand.
+    pub fn revenue(&self, demand: f64) -> f64 {
+        match *self {
+            RevenueModel::FlatPerCustomer { revenue } => revenue,
+            RevenueModel::PerUnitDemand { base, per_unit } => base + per_unit * demand,
+        }
+    }
+}
+
+/// A candidate customer attachment priced by the design algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct PricedCustomer {
+    /// Index of the customer in the caller's arrays.
+    pub customer: usize,
+    /// Revenue if served.
+    pub revenue: f64,
+    /// Incremental network cost of serving them.
+    pub incremental_cost: f64,
+}
+
+impl PricedCustomer {
+    /// Profit contribution (revenue − incremental cost).
+    pub fn margin(&self) -> f64 {
+        self.revenue - self.incremental_cost
+    }
+}
+
+/// Greedy profit-based selection: serve customers in descending-margin
+/// order while the margin is positive ("marginal revenue meets marginal
+/// cost"). Returns the selected customer indices and the total profit.
+///
+/// This is a one-shot approximation of the true sequential problem (where
+/// each attachment changes later incremental costs); the ISP generator
+/// re-prices after each batch, so the approximation error stays small.
+pub fn profitable_prefix(mut candidates: Vec<PricedCustomer>) -> (Vec<usize>, f64) {
+    candidates.sort_by(|a, b| b.margin().partial_cmp(&a.margin()).expect("NaN margin"));
+    let mut selected = Vec::new();
+    let mut profit = 0.0;
+    for c in candidates {
+        if c.margin() > 0.0 {
+            profit += c.margin();
+            selected.push(c.customer);
+        } else {
+            break;
+        }
+    }
+    (selected, profit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revenue_models() {
+        let flat = RevenueModel::FlatPerCustomer { revenue: 40.0 };
+        assert_eq!(flat.revenue(999.0), 40.0);
+        let usage = RevenueModel::PerUnitDemand { base: 10.0, per_unit: 2.0 };
+        assert_eq!(usage.revenue(5.0), 20.0);
+    }
+
+    #[test]
+    fn prefix_takes_only_profitable() {
+        let candidates = vec![
+            PricedCustomer { customer: 0, revenue: 100.0, incremental_cost: 10.0 },
+            PricedCustomer { customer: 1, revenue: 50.0, incremental_cost: 60.0 },
+            PricedCustomer { customer: 2, revenue: 80.0, incremental_cost: 20.0 },
+        ];
+        let (selected, profit) = profitable_prefix(candidates);
+        assert_eq!(selected, vec![0, 2]);
+        assert!((profit - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_all_unprofitable() {
+        let (s, p) = profitable_prefix(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(p, 0.0);
+        let (s, p) = profitable_prefix(vec![PricedCustomer {
+            customer: 0,
+            revenue: 1.0,
+            incremental_cost: 2.0,
+        }]);
+        assert!(s.is_empty());
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn zero_margin_not_served() {
+        let (s, _) = profitable_prefix(vec![PricedCustomer {
+            customer: 0,
+            revenue: 5.0,
+            incremental_cost: 5.0,
+        }]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn margin_accessor() {
+        let c = PricedCustomer { customer: 3, revenue: 9.0, incremental_cost: 4.0 };
+        assert!((c.margin() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,264 @@
+//! A uniform spatial hash grid for nearest-neighbor queries.
+//!
+//! The FKP growth model attaches every arriving node to the existing node
+//! minimizing `α·distance + centrality`; evaluating that objective needs
+//! fast "who is near this point" queries once instances reach tens of
+//! thousands of nodes. A uniform grid is the simplest structure that makes
+//! expected-case queries O(1) for roughly uniform placements, which is what
+//! the generators produce.
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+
+/// A uniform grid over a bounding box, storing `usize` payload ids at
+/// points.
+#[derive(Clone, Debug)]
+pub struct SpatialGrid {
+    bounds: BoundingBox,
+    cells_x: usize,
+    cells_y: usize,
+    cell_w: f64,
+    cell_h: f64,
+    cells: Vec<Vec<(Point, usize)>>,
+    len: usize,
+}
+
+impl SpatialGrid {
+    /// Creates a grid with roughly `target_cells` cells covering `bounds`.
+    pub fn new(bounds: BoundingBox, target_cells: usize) -> Self {
+        let target = target_cells.max(1);
+        // Aspect-proportional cell counts; at least 1 each way.
+        let aspect = if bounds.height() > 0.0 { bounds.width() / bounds.height() } else { 1.0 };
+        let cells_x = ((target as f64 * aspect).sqrt().round() as usize).max(1);
+        let cells_y = (target / cells_x.max(1)).max(1);
+        let cell_w = if cells_x > 0 { bounds.width() / cells_x as f64 } else { bounds.width() };
+        let cell_h = if cells_y > 0 { bounds.height() / cells_y as f64 } else { bounds.height() };
+        SpatialGrid {
+            bounds,
+            cells_x,
+            cells_y,
+            cell_w: if cell_w > 0.0 { cell_w } else { 1.0 },
+            cell_h: if cell_h > 0.0 { cell_h } else { 1.0 },
+            cells: vec![Vec::new(); cells_x * cells_y],
+            len: 0,
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let cx = ((p.x - self.bounds.min_x) / self.cell_w) as isize;
+        let cy = ((p.y - self.bounds.min_y) / self.cell_h) as isize;
+        (
+            cx.clamp(0, self.cells_x as isize - 1) as usize,
+            cy.clamp(0, self.cells_y as isize - 1) as usize,
+        )
+    }
+
+    fn cell_index(&self, cx: usize, cy: usize) -> usize {
+        cy * self.cells_x + cx
+    }
+
+    /// Inserts a point with its payload id. Points outside the bounds are
+    /// clamped to the border cells (they remain findable).
+    pub fn insert(&mut self, p: Point, id: usize) {
+        let (cx, cy) = self.cell_of(&p);
+        let idx = self.cell_index(cx, cy);
+        self.cells[idx].push((p, id));
+        self.len += 1;
+    }
+
+    /// Id and distance of the stored point nearest to `target`, or `None`
+    /// if the grid is empty. Searches outward ring by ring and stops once
+    /// no closer point can exist in unexplored rings.
+    pub fn nearest(&self, target: &Point) -> Option<(usize, f64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let (tcx, tcy) = self.cell_of(target);
+        let max_ring = self.cells_x.max(self.cells_y);
+        let mut best: Option<(usize, f64)> = None;
+        for ring in 0..=max_ring {
+            // Once we have a candidate, stop when the nearest possible
+            // point in this ring is already farther than the candidate.
+            if let Some((_, d)) = best {
+                let min_possible = (ring as f64 - 1.0).max(0.0) * self.cell_w.min(self.cell_h);
+                if min_possible > d {
+                    break;
+                }
+            }
+            for (cx, cy) in self.ring_cells(tcx, tcy, ring) {
+                for (p, id) in &self.cells[self.cell_index(cx, cy)] {
+                    let d = p.dist(target);
+                    if best.map_or(true, |(_, bd)| d < bd) {
+                        best = Some((*id, d));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// All `(id, distance)` pairs within `radius` of `target`.
+    pub fn within(&self, target: &Point, radius: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        if self.len == 0 || radius < 0.0 {
+            return out;
+        }
+        let rings_x = (radius / self.cell_w).ceil() as usize + 1;
+        let rings_y = (radius / self.cell_h).ceil() as usize + 1;
+        let (tcx, tcy) = self.cell_of(target);
+        let x0 = tcx.saturating_sub(rings_x);
+        let x1 = (tcx + rings_x).min(self.cells_x - 1);
+        let y0 = tcy.saturating_sub(rings_y);
+        let y1 = (tcy + rings_y).min(self.cells_y - 1);
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                for (p, id) in &self.cells[self.cell_index(cx, cy)] {
+                    let d = p.dist(target);
+                    if d <= radius {
+                        out.push((*id, d));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Cells at Chebyshev distance exactly `ring` from `(cx, cy)`, clipped
+    /// to the grid.
+    fn ring_cells(&self, cx: usize, cy: usize, ring: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let r = ring as isize;
+        let (cx, cy) = (cx as isize, cy as isize);
+        let in_grid = |x: isize, y: isize| {
+            x >= 0 && y >= 0 && (x as usize) < self.cells_x && (y as usize) < self.cells_y
+        };
+        if ring == 0 {
+            if in_grid(cx, cy) {
+                out.push((cx as usize, cy as usize));
+            }
+            return out;
+        }
+        for dx in -r..=r {
+            for &dy in &[-r, r] {
+                if in_grid(cx + dx, cy + dy) {
+                    out.push(((cx + dx) as usize, (cy + dy) as usize));
+                }
+            }
+        }
+        for dy in (-r + 1)..r {
+            for &dx in &[-r, r] {
+                if in_grid(cx + dx, cy + dy) {
+                    out.push(((cx + dx) as usize, (cy + dy) as usize));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::nearest_index;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_grid() {
+        let g = SpatialGrid::new(BoundingBox::unit(), 16);
+        assert!(g.is_empty());
+        assert_eq!(g.nearest(&Point::new(0.5, 0.5)), None);
+        assert!(g.within(&Point::new(0.5, 0.5), 1.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let mut g = SpatialGrid::new(BoundingBox::unit(), 16);
+        g.insert(Point::new(0.25, 0.25), 42);
+        let (id, d) = g.nearest(&Point::new(0.25, 0.30)).unwrap();
+        assert_eq!(id, 42);
+        assert!((d - 0.05).abs() < 1e-12);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn nearest_across_cells() {
+        let mut g = SpatialGrid::new(BoundingBox::unit(), 100);
+        g.insert(Point::new(0.05, 0.05), 0);
+        g.insert(Point::new(0.95, 0.95), 1);
+        assert_eq!(g.nearest(&Point::new(0.9, 0.9)).unwrap().0, 1);
+        assert_eq!(g.nearest(&Point::new(0.1, 0.2)).unwrap().0, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_points_still_found() {
+        let mut g = SpatialGrid::new(BoundingBox::unit(), 16);
+        g.insert(Point::new(2.0, 2.0), 7); // clamped to border cell
+        assert_eq!(g.nearest(&Point::new(0.0, 0.0)).unwrap().0, 7);
+    }
+
+    #[test]
+    fn within_radius() {
+        let mut g = SpatialGrid::new(BoundingBox::unit(), 64);
+        for i in 0..10 {
+            g.insert(Point::new(i as f64 / 10.0, 0.5), i);
+        }
+        let hits = g.within(&Point::new(0.5, 0.5), 0.15);
+        let mut ids: Vec<usize> = hits.iter().map(|(i, _)| *i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![4, 5, 6]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Grid nearest-neighbor agrees with brute force.
+        #[test]
+        fn matches_brute_force(seed in 0u64..1000, n in 1usize..200, qx in 0.0f64..1.0, qy in 0.0f64..1.0) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                .collect();
+            let mut g = SpatialGrid::new(BoundingBox::unit(), 64);
+            for (i, p) in pts.iter().enumerate() {
+                g.insert(*p, i);
+            }
+            let q = Point::new(qx, qy);
+            let (id, d) = g.nearest(&q).unwrap();
+            let brute = nearest_index(&pts, &q).unwrap();
+            // Distances must match even if tied ids differ.
+            prop_assert!((d - pts[brute].dist(&q)).abs() < 1e-9,
+                "grid {} vs brute {}", d, pts[brute].dist(&q));
+            prop_assert!((pts[id].dist(&q) - d).abs() < 1e-12);
+        }
+
+        /// `within` returns exactly the brute-force ball.
+        #[test]
+        fn within_matches_brute_force(seed in 0u64..1000, n in 1usize..100, r in 0.0f64..0.5) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                .collect();
+            let mut g = SpatialGrid::new(BoundingBox::unit(), 32);
+            for (i, p) in pts.iter().enumerate() {
+                g.insert(*p, i);
+            }
+            let q = Point::new(0.5, 0.5);
+            let mut got: Vec<usize> = g.within(&q, r).into_iter().map(|(i, _)| i).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = (0..n).filter(|&i| pts[i].dist(&q) <= r).collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

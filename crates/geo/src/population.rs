@@ -1,0 +1,241 @@
+//! Synthetic population centers — the demand geography.
+//!
+//! The paper grounds demand in "population centers dispersed over a
+//! geographic region" (§2.2) and notes that ignoring economic realities
+//! like "most customers reside in the big cities" yields topologies too
+//! generic to be useful. Real census data is proprietary-adjacent and
+//! unnecessary here (the paper itself uses fictitious-but-realistic
+//! parameters); instead we synthesize censuses with the two robust
+//! empirical regularities that matter to network design:
+//!
+//! 1. **Zipf's law for city sizes** — the r-th largest city has population
+//!    ∝ 1/r^s with s ≈ 1 (Auerbach/Zipf), so demand is dominated by a few
+//!    metros;
+//! 2. **Spatial clustering** — customers cluster around metro cores rather
+//!    than spreading uniformly.
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use rand::Rng;
+
+/// A population center.
+#[derive(Clone, Debug, PartialEq)]
+pub struct City {
+    /// Location in the plane.
+    pub location: Point,
+    /// Population (arbitrary persons unit; only ratios matter downstream).
+    pub population: f64,
+    /// Zipf rank (1 = largest).
+    pub rank: usize,
+}
+
+/// A synthetic census: a set of cities inside a region.
+#[derive(Clone, Debug)]
+pub struct Census {
+    /// Cities in rank order (largest first).
+    pub cities: Vec<City>,
+    /// The region containing every city.
+    pub region: BoundingBox,
+}
+
+/// Parameters for synthesizing a census.
+#[derive(Clone, Debug)]
+pub struct CensusConfig {
+    /// Number of cities.
+    pub n_cities: usize,
+    /// Population of the rank-1 city.
+    pub max_population: f64,
+    /// Zipf exponent `s` (≈ 1.0 empirically; larger = steeper dominance).
+    pub zipf_exponent: f64,
+    /// Region to populate.
+    pub region: BoundingBox,
+    /// Spatial placement of cities.
+    pub placement: Placement,
+}
+
+/// How city locations are drawn.
+#[derive(Clone, Debug)]
+pub enum Placement {
+    /// Independent uniform placement over the region.
+    Uniform,
+    /// `centers` metro seeds placed uniformly; every city is attached to a
+    /// random seed and displaced by a Gaussian of the given standard
+    /// deviation (in region units). Models coastal/corridor clustering.
+    Clustered { centers: usize, spread: f64 },
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        CensusConfig {
+            n_cities: 100,
+            max_population: 8_000_000.0,
+            zipf_exponent: 1.0,
+            region: BoundingBox::square(1000.0),
+            placement: Placement::Clustered { centers: 8, spread: 60.0 },
+        }
+    }
+}
+
+impl Census {
+    /// Synthesizes a census from `config` using `rng`.
+    pub fn synthesize(config: &CensusConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.n_cities > 0, "census needs at least one city");
+        assert!(config.max_population > 0.0, "max_population must be positive");
+        assert!(config.zipf_exponent >= 0.0, "zipf exponent must be non-negative");
+        let locations: Vec<Point> = match &config.placement {
+            Placement::Uniform => {
+                (0..config.n_cities).map(|_| config.region.sample_uniform(rng)).collect()
+            }
+            Placement::Clustered { centers, spread } => {
+                let k = (*centers).max(1);
+                let seeds: Vec<Point> =
+                    (0..k).map(|_| config.region.sample_uniform(rng)).collect();
+                (0..config.n_cities)
+                    .map(|_| {
+                        let seed = seeds[rng.random_range(0..k)];
+                        // Box–Muller Gaussian displacement.
+                        let (g1, g2) = gaussian_pair(rng);
+                        config
+                            .region
+                            .clamp(Point::new(seed.x + g1 * spread, seed.y + g2 * spread))
+                    })
+                    .collect()
+            }
+        };
+        let cities = locations
+            .into_iter()
+            .enumerate()
+            .map(|(i, location)| {
+                let rank = i + 1;
+                City {
+                    location,
+                    population: config.max_population / (rank as f64).powf(config.zipf_exponent),
+                    rank,
+                }
+            })
+            .collect();
+        Census { cities, region: config.region }
+    }
+
+    /// Total population across cities.
+    pub fn total_population(&self) -> f64 {
+        self.cities.iter().map(|c| c.population).sum()
+    }
+
+    /// City locations in rank order.
+    pub fn locations(&self) -> Vec<Point> {
+        self.cities.iter().map(|c| c.location).collect()
+    }
+
+    /// The `k` largest cities (by rank).
+    pub fn top(&self, k: usize) -> &[City] {
+        &self.cities[..k.min(self.cities.len())]
+    }
+}
+
+/// One pair of independent standard Gaussians via Box–Muller.
+fn gaussian_pair(rng: &mut impl Rng) -> (f64, f64) {
+    // Avoid ln(0).
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(placement: Placement) -> CensusConfig {
+        CensusConfig { n_cities: 50, placement, ..CensusConfig::default() }
+    }
+
+    #[test]
+    fn zipf_populations_decay() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let census = Census::synthesize(&cfg(Placement::Uniform), &mut rng);
+        assert_eq!(census.cities.len(), 50);
+        for w in census.cities.windows(2) {
+            assert!(w[0].population >= w[1].population);
+        }
+        // Rank-1 over rank-10 ratio should be 10 for s=1.
+        let ratio = census.cities[0].population / census.cities[9].population;
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cities_inside_region() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for placement in [Placement::Uniform, Placement::Clustered { centers: 5, spread: 100.0 }] {
+            let census = Census::synthesize(&cfg(placement), &mut rng);
+            for c in &census.cities {
+                assert!(census.region.contains(&c.location));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_is_tighter_than_uniform() {
+        // Average nearest-neighbor distance should be smaller when
+        // clustered with small spread.
+        let mut rng = StdRng::seed_from_u64(3);
+        let uni = Census::synthesize(&cfg(Placement::Uniform), &mut rng);
+        let clu = Census::synthesize(
+            &cfg(Placement::Clustered { centers: 3, spread: 10.0 }),
+            &mut rng,
+        );
+        let mean_nn = |c: &Census| {
+            let pts = c.locations();
+            let mut total = 0.0;
+            for (i, p) in pts.iter().enumerate() {
+                let d = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, q)| p.dist(q))
+                    .fold(f64::INFINITY, f64::min);
+                total += d;
+            }
+            total / pts.len() as f64
+        };
+        assert!(mean_nn(&clu) < mean_nn(&uni));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c1 = Census::synthesize(&CensusConfig::default(), &mut StdRng::seed_from_u64(9));
+        let c2 = Census::synthesize(&CensusConfig::default(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(c1.cities, c2.cities);
+    }
+
+    #[test]
+    fn top_and_total() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let census = Census::synthesize(&cfg(Placement::Uniform), &mut rng);
+        assert_eq!(census.top(5).len(), 5);
+        assert_eq!(census.top(500).len(), 50);
+        assert!(census.total_population() > census.cities[0].population);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one city")]
+    fn zero_cities_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let bad = CensusConfig { n_cities: 0, ..CensusConfig::default() };
+        Census::synthesize(&bad, &mut rng);
+    }
+
+    #[test]
+    fn flat_zipf_exponent_gives_equal_sizes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = CensusConfig { zipf_exponent: 0.0, ..cfg(Placement::Uniform) };
+        let census = Census::synthesize(&config, &mut rng);
+        assert!(census
+            .cities
+            .iter()
+            .all(|c| (c.population - census.cities[0].population).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,177 @@
+//! Graph serialization: Graphviz DOT export and a simple whitespace edge
+//! list format (`a b weight` per line) for interchange with plotting tools.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// `node_attr` and `edge_attr` return raw DOT attribute strings (e.g.
+/// `label="pop", shape=box`); return an empty string for no attributes.
+pub fn to_dot<N, E>(
+    g: &Graph<N, E>,
+    mut node_attr: impl FnMut(NodeId, &N) -> String,
+    mut edge_attr: impl FnMut(EdgeId, &E) -> String,
+) -> String {
+    let mut out = String::from("graph topology {\n");
+    for v in g.node_ids() {
+        let attrs = node_attr(v, g.node_weight(v));
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {};", v.index());
+        } else {
+            let _ = writeln!(out, "  {} [{}];", v.index(), attrs);
+        }
+    }
+    for (e, a, b, w) in g.edges() {
+        let attrs = edge_attr(e, w);
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {} -- {};", a.index(), b.index());
+        } else {
+            let _ = writeln!(out, "  {} -- {} [{}];", a.index(), b.index(), attrs);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `a b weight` lines, one per edge, with `weight` produced by `f`.
+pub fn to_edge_list<N, E>(g: &Graph<N, E>, mut f: impl FnMut(&E) -> f64) -> String {
+    let mut out = String::new();
+    for (_, a, b, w) in g.edges() {
+        let _ = writeln!(out, "{} {} {}", a.index(), b.index(), f(w));
+    }
+    out
+}
+
+/// Errors from [`from_edge_list`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// A line did not have 2 or 3 whitespace-separated fields.
+    BadLine { line: usize },
+    /// A field failed to parse as the expected number.
+    BadNumber { line: usize, field: String },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine { line } => write!(f, "line {}: expected 'a b [weight]'", line),
+            ParseError::BadNumber { line, field } => {
+                write!(f, "line {}: cannot parse '{}'", line, field)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an edge list (`a b` or `a b weight` per line; `#` comments and
+/// blank lines ignored). Node count is 1 + the largest mentioned index.
+/// Missing weights default to 1.0.
+pub fn from_edge_list(text: &str) -> Result<Graph<(), f64>, ParseError> {
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut max_node = None::<usize>;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 2 && fields.len() != 3 {
+            return Err(ParseError::BadLine { line: line_no });
+        }
+        let parse_usize = |s: &str| {
+            s.parse::<usize>().map_err(|_| ParseError::BadNumber {
+                line: line_no,
+                field: s.to_string(),
+            })
+        };
+        let a = parse_usize(fields[0])?;
+        let b = parse_usize(fields[1])?;
+        let w = if fields.len() == 3 {
+            fields[2].parse::<f64>().map_err(|_| ParseError::BadNumber {
+                line: line_no,
+                field: fields[2].to_string(),
+            })?
+        } else {
+            1.0
+        };
+        max_node = Some(max_node.map_or(a.max(b), |m: usize| m.max(a).max(b)));
+        edges.push((a, b, w));
+    }
+    let n = max_node.map_or(0, |m| m + 1);
+    Ok(Graph::from_edges(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn triangle() -> Graph<(), f64> {
+        Graph::from_edges(3, vec![(0, 1, 1.5), (1, 2, 2.5), (0, 2, 3.5)])
+    }
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let g = triangle();
+        let dot = to_dot(&g, |_, _| String::new(), |_, w| format!("label=\"{}\"", w));
+        assert!(dot.starts_with("graph topology {"));
+        assert!(dot.contains("0 -- 1 [label=\"1.5\"];"));
+        assert!(dot.contains("1 -- 2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_node_attributes() {
+        let mut g: Graph<&str, f64> = Graph::new();
+        let a = g.add_node("core");
+        let b = g.add_node("leaf");
+        g.add_edge(a, b, 1.0);
+        let dot = to_dot(&g, |_, w| format!("label=\"{}\"", w), |_, _| String::new());
+        assert!(dot.contains("0 [label=\"core\"];"));
+        assert!(dot.contains("1 [label=\"leaf\"];"));
+        assert!(dot.contains("0 -- 1;"));
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = triangle();
+        let text = to_edge_list(&g, |w| *w);
+        let h = from_edge_list(&text).unwrap();
+        assert_eq!(h.node_count(), 3);
+        assert_eq!(h.edge_count(), 3);
+        assert!((h.total_edge_weight(|w| *w) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let text = "# a comment\n\n0 1\n1 2 4.0\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!((*g.edge_weight(crate::graph::EdgeId(0)) - 1.0).abs() < 1e-12);
+        assert!((*g.edge_weight(crate::graph::EdgeId(1)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert_eq!(from_edge_list("0 1\nnonsense\n").unwrap_err(), ParseError::BadLine { line: 2 });
+        assert_eq!(
+            from_edge_list("0 x").unwrap_err(),
+            ParseError::BadNumber { line: 1, field: "x".into() }
+        );
+        assert_eq!(
+            from_edge_list("0 1 notafloat").unwrap_err(),
+            ParseError::BadNumber { line: 1, field: "notafloat".into() }
+        );
+    }
+
+    #[test]
+    fn parse_empty_is_empty_graph() {
+        let g = from_edge_list("").unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! k-core decomposition (coreness per node) via the linear-time peeling
+//! algorithm of Batagelj–Zaveršnik.
+//!
+//! Coreness separates mesh-like cores from tree-like fringes: trees are
+//! entirely 1-core, while preferential-attachment graphs with m ≥ 2 have
+//! deep cores — one of the structural differences experiment E6 surfaces.
+
+use crate::graph::Graph;
+
+/// Coreness of every node: the largest `k` such that the node belongs to
+/// the `k`-core (the maximal subgraph with minimum degree ≥ k).
+///
+/// Parallel edges count toward degree. Isolated nodes have coreness 0.
+pub fn coreness<N, E>(g: &Graph<N, E>) -> Vec<usize> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree = g.degree_sequence();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by current degree.
+    let mut bins = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n]; // position of node in `vert`
+    let mut vert = vec![0usize; n]; // nodes sorted by degree
+    {
+        let mut next = bins.clone();
+        for v in 0..n {
+            pos[v] = next[degree[v]];
+            vert[pos[v]] = v;
+            next[degree[v]] += 1;
+        }
+    }
+    let mut core = vec![0usize; n];
+    for i in 0..n {
+        let v = vert[i];
+        core[v] = degree[v];
+        for (u, _) in g.neighbors(crate::graph::NodeId(v as u32)) {
+            let u = u.index();
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap it with the first node of
+                // its current bucket, then shrink the bucket.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bins[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The maximum coreness over all nodes (0 for the empty graph).
+pub fn max_coreness<N, E>(g: &Graph<N, E>) -> usize {
+    coreness(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn tree_is_one_core() {
+        let g: Graph<(), ()> =
+            Graph::from_edges(5, vec![(0, 1, ()), (1, 2, ()), (1, 3, ()), (3, 4, ())]);
+        let c = coreness(&g);
+        assert!(c.iter().all(|&x| x == 1), "tree coreness {:?}", c);
+    }
+
+    #[test]
+    fn complete_graph_core() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in i + 1..5 {
+                edges.push((i, j, ()));
+            }
+        }
+        let g: Graph<(), ()> = Graph::from_edges(5, edges);
+        assert!(coreness(&g).iter().all(|&x| x == 4));
+        assert_eq!(max_coreness(&g), 4);
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle {0,1,2} plus tail 2-3-4.
+        let g: Graph<(), ()> =
+            Graph::from_edges(5, vec![(0, 1, ()), (1, 2, ()), (0, 2, ()), (2, 3, ()), (3, 4, ())]);
+        let c = coreness(&g);
+        assert_eq!(c[0], 2);
+        assert_eq!(c[1], 2);
+        assert_eq!(c[2], 2);
+        assert_eq!(c[3], 1);
+        assert_eq!(c[4], 1);
+    }
+
+    #[test]
+    fn isolated_nodes_zero() {
+        let mut g: Graph<(), ()> = Graph::new();
+        g.add_node(());
+        g.add_node(());
+        assert_eq!(coreness(&g), vec![0, 0]);
+        assert_eq!(max_coreness(&g), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Graph<(), ()> = Graph::new();
+        assert!(coreness(&g).is_empty());
+        assert_eq!(max_coreness(&g), 0);
+    }
+
+    #[test]
+    fn coreness_at_most_degree() {
+        // Star: hub degree n-1 but coreness 1.
+        let g: Graph<(), ()> =
+            Graph::from_edges(6, (1..6).map(|i| (0, i, ())).collect::<Vec<_>>());
+        let c = coreness(&g);
+        assert!(c.iter().all(|&x| x == 1));
+    }
+}

@@ -1,0 +1,65 @@
+//! # hot-graph — annotated graph substrate for topology generation
+//!
+//! This crate provides the graph machinery every other crate in the
+//! `hotgen` workspace builds on. The Alderson et al. (HotNets'03) paper
+//! stresses (footnote 1) that "topology" means *connectivity plus resource
+//! capacity*, so the central [`Graph`] type carries arbitrary node and edge
+//! annotations rather than being a bare adjacency structure.
+//!
+//! The crate is deliberately self-contained (no `petgraph`): the topology
+//! utilities the reproduction needs — rooted-tree views, degree
+//! distributions, Brandes betweenness, spectral estimates, max-flow for
+//! resilience metrics — are implemented here directly, in simple, heavily
+//! tested safe Rust.
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | [`Graph`], [`NodeId`], [`EdgeId`] — undirected annotated multigraph |
+//! | [`unionfind`] | disjoint-set forest used by Kruskal and component bookkeeping |
+//! | [`traversal`] | BFS/DFS orders, hop distances, connected components |
+//! | [`shortest_path`] | Dijkstra (binary heap), Bellman–Ford oracle, path extraction |
+//! | [`mst`] | Kruskal and Prim minimum spanning trees/forests |
+//! | [`tree`] | rooted-tree views: parents, depths, subtree sizes, leaves |
+//! | [`degree`] | degree sequences, histograms, CCDFs |
+//! | [`betweenness`] | Brandes betweenness centrality (unweighted) |
+//! | [`spectral`] | adjacency/Laplacian spectra via power iteration |
+//! | [`flow`] | Edmonds–Karp max-flow / min-cut |
+//! | [`kcore`] | k-core decomposition |
+//! | [`io`] | DOT and edge-list serialization |
+//!
+//! ## Example
+//!
+//! ```
+//! use hot_graph::{Graph, mst::kruskal, traversal::is_connected};
+//!
+//! let mut g: Graph<(), f64> = Graph::new();
+//! let a = g.add_node(());
+//! let b = g.add_node(());
+//! let c = g.add_node(());
+//! g.add_edge(a, b, 1.0);
+//! g.add_edge(b, c, 2.0);
+//! g.add_edge(a, c, 10.0);
+//! assert!(is_connected(&g));
+//! let tree = kruskal(&g, |w| *w);
+//! assert_eq!(tree.edges.len(), 2);
+//! assert!((tree.total_weight - 3.0).abs() < 1e-12);
+//! ```
+
+pub mod betweenness;
+pub mod degree;
+pub mod flow;
+pub mod graph;
+pub mod io;
+pub mod kcore;
+pub mod mst;
+pub mod shortest_path;
+pub mod spectral;
+pub mod traversal;
+pub mod tree;
+pub mod unionfind;
+
+pub use graph::{EdgeId, Graph, NodeId};
+pub use tree::RootedTree;
+pub use unionfind::UnionFind;

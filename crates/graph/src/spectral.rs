@@ -1,0 +1,235 @@
+//! Spectral estimates via power iteration: dominant adjacency eigenvalues
+//! and the normalized-Laplacian spectral gap.
+//!
+//! Vukadinović et al. (cited as \[31\] in the paper) proposed spectral
+//! analysis for distinguishing topology generators; experiment E6 reports
+//! the top adjacency eigenvalues and the algebraic connectivity as part of
+//! the metric matrix. Dense matrices are fine at the experiment scales
+//! (≲ a few thousand nodes).
+
+use crate::graph::Graph;
+
+/// Maximum power-iteration steps before giving up on convergence.
+const MAX_ITERS: usize = 10_000;
+/// Convergence tolerance on the eigenvalue estimate.
+const TOL: f64 = 1e-10;
+
+/// Dense symmetric matrix-vector product helper.
+fn matvec(m: &[Vec<f64>], v: &[f64], out: &mut [f64]) {
+    for (i, row) in m.iter().enumerate() {
+        out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+    }
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Removes the components of `v` along each (unit) vector in `basis`.
+fn deflate(v: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let d = dot(v, b);
+        for (x, y) in v.iter_mut().zip(b) {
+            *x -= d * y;
+        }
+    }
+}
+
+/// Power iteration for the largest-magnitude eigenvalue of a dense
+/// symmetric matrix, orthogonal to `deflated` eigenvectors.
+///
+/// Returns `(eigenvalue, eigenvector)`. A deterministic non-uniform start
+/// vector avoids getting stuck orthogonal to the dominant eigenvector on
+/// symmetric graphs.
+fn power_iteration(m: &[Vec<f64>], deflated: &[Vec<f64>]) -> (f64, Vec<f64>) {
+    let n = m.len();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7183).sin() * 0.5).collect();
+    deflate(&mut v, deflated);
+    normalize(&mut v);
+    let mut next = vec![0.0; n];
+    let mut lambda = 0.0;
+    for _ in 0..MAX_ITERS {
+        matvec(m, &v, &mut next);
+        deflate(&mut next, deflated);
+        let new_lambda = dot(&next, &v);
+        normalize(&mut next);
+        std::mem::swap(&mut v, &mut next);
+        if (new_lambda - lambda).abs() < TOL * (1.0 + new_lambda.abs()) {
+            lambda = new_lambda;
+            break;
+        }
+        lambda = new_lambda;
+    }
+    (lambda, v)
+}
+
+/// Dense adjacency matrix (parallel edges sum).
+pub fn adjacency_matrix<N, E>(g: &Graph<N, E>) -> Vec<Vec<f64>> {
+    let n = g.node_count();
+    let mut m = vec![vec![0.0; n]; n];
+    for (_, a, b, _) in g.edges() {
+        m[a.index()][b.index()] += 1.0;
+        m[b.index()][a.index()] += 1.0;
+    }
+    m
+}
+
+/// Dense combinatorial Laplacian `L = D − A`.
+pub fn laplacian_matrix<N, E>(g: &Graph<N, E>) -> Vec<Vec<f64>> {
+    let n = g.node_count();
+    let mut m = vec![vec![0.0; n]; n];
+    for (_, a, b, _) in g.edges() {
+        m[a.index()][b.index()] -= 1.0;
+        m[b.index()][a.index()] -= 1.0;
+        m[a.index()][a.index()] += 1.0;
+        m[b.index()][b.index()] += 1.0;
+    }
+    m
+}
+
+/// The `k` algebraically largest eigenvalues of the adjacency matrix,
+/// descending, via power iteration with deflation.
+///
+/// The matrix is shifted by `cI` (`c` = max degree + 1) before iterating so
+/// that the algebraically largest eigenvalue is also the largest in
+/// magnitude — without the shift, power iteration oscillates on bipartite
+/// graphs (e.g. stars and trees, whose spectra are symmetric about 0).
+/// Only the leading eigenvalues are meaningful for generator comparison;
+/// `k` beyond ~5 accumulates deflation error.
+pub fn top_adjacency_eigenvalues<N, E>(g: &Graph<N, E>, k: usize) -> Vec<f64> {
+    let mut m = adjacency_matrix(g);
+    let n = m.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let c = g.degree_sequence().into_iter().max().unwrap_or(0) as f64 + 1.0;
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] += c;
+    }
+    let mut values = Vec::new();
+    let mut vectors: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..k.min(n) {
+        let (lambda, vec) = power_iteration(&m, &vectors);
+        values.push(lambda - c);
+        vectors.push(vec);
+    }
+    values
+}
+
+/// Spectral radius (largest adjacency eigenvalue); 0 for the empty graph.
+pub fn spectral_radius<N, E>(g: &Graph<N, E>) -> f64 {
+    top_adjacency_eigenvalues(g, 1).first().copied().unwrap_or(0.0)
+}
+
+/// Algebraic connectivity: the second-smallest eigenvalue of the
+/// combinatorial Laplacian (Fiedler value).
+///
+/// Computed by power iteration on `cI − L` (with `c` = Gershgorin bound)
+/// deflated against the constant vector. Returns 0 for graphs with fewer
+/// than 2 nodes; values near 0 indicate disconnection or bottlenecks.
+pub fn algebraic_connectivity<N, E>(g: &Graph<N, E>) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    let l = laplacian_matrix(g);
+    // Gershgorin: all Laplacian eigenvalues lie in [0, 2*max_degree].
+    let c = 2.0 * l.iter().enumerate().map(|(i, r)| r[i]).fold(0.0, f64::max) + 1.0;
+    // Shifted matrix M = cI - L has eigenvalues c - mu, so the smallest mu
+    // becomes the largest. Deflate the known eigenvector 1/sqrt(n) (mu = 0).
+    let m: Vec<Vec<f64>> = l
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            row.iter()
+                .enumerate()
+                .map(|(j, &x)| if i == j { c - x } else { -x })
+                .collect()
+        })
+        .collect();
+    let ones = vec![1.0 / (n as f64).sqrt(); n];
+    let (lambda, _) = power_iteration(&m, &[ones]);
+    (c - lambda).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn complete(n: usize) -> Graph<(), ()> {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j, ()));
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn complete_graph_spectral_radius() {
+        // K_n has spectral radius n-1.
+        let g = complete(5);
+        assert!((spectral_radius(&g) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn star_spectral_radius() {
+        // Star with k leaves has spectral radius sqrt(k).
+        let g: Graph<(), ()> =
+            Graph::from_edges(10, (1..10).map(|i| (0, i, ())).collect::<Vec<_>>());
+        assert!((spectral_radius(&g) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn complete_graph_algebraic_connectivity() {
+        // K_n Laplacian eigenvalues: 0 and n (multiplicity n-1).
+        let g = complete(4);
+        assert!((algebraic_connectivity(&g) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn path_algebraic_connectivity() {
+        // P_n: lambda_2 = 2(1 - cos(pi/n)) = 4 sin^2(pi/(2n)).
+        let g: Graph<(), ()> = Graph::from_edges(4, vec![(0, 1, ()), (1, 2, ()), (2, 3, ())]);
+        let expect = 2.0 * (1.0 - (std::f64::consts::PI / 4.0).cos());
+        assert!((algebraic_connectivity(&g) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disconnected_has_zero_connectivity() {
+        let g: Graph<(), ()> = Graph::from_edges(4, vec![(0, 1, ()), (2, 3, ())]);
+        assert!(algebraic_connectivity(&g).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_eigenvalues_of_complete_graph() {
+        // K_4: eigenvalues 3, -1, -1, -1.
+        let g = complete(4);
+        let ev = top_adjacency_eigenvalues(&g, 2);
+        assert!((ev[0] - 3.0).abs() < 1e-6);
+        assert!((ev[1] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_graph_degenerate() {
+        let g: Graph<(), ()> = Graph::new();
+        assert_eq!(spectral_radius(&g), 0.0);
+        assert_eq!(algebraic_connectivity(&g), 0.0);
+        assert!(top_adjacency_eigenvalues(&g, 3).is_empty());
+    }
+}

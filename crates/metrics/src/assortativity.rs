@@ -1,0 +1,218 @@
+//! Degree–degree correlation metrics: assortativity and the rich-club
+//! coefficient.
+//!
+//! Two graphs with identical degree sequences can wire high-degree nodes
+//! to each other (assortative, rich-club) or to leaves (disassortative) —
+//! a structural dimension the degree distribution cannot see, and one on
+//! which measured router-level maps (disassortative: backbone routers
+//! fan out to access gear) famously disagree with preferential-attachment
+//! models. Standard references: Newman (2002) for assortativity, Zhou &
+//! Mondragón (2004) for the Internet's rich-club.
+
+use hot_graph::graph::Graph;
+
+/// Newman's degree assortativity coefficient `r ∈ [−1, 1]`.
+///
+/// Pearson correlation of the degrees at either end of each edge
+/// (each undirected edge contributes both orientations). Returns `None`
+/// for graphs with no edges or zero degree variance at edge ends
+/// (e.g. regular graphs, stars with a single edge).
+pub fn assortativity<N, E>(g: &Graph<N, E>) -> Option<f64> {
+    let m = g.edge_count();
+    if m == 0 {
+        return None;
+    }
+    let deg = g.degree_sequence();
+    // Accumulate over both orientations.
+    let mut sum_xy = 0.0;
+    let mut sum_x = 0.0;
+    let mut sum_x2 = 0.0;
+    let count = (2 * m) as f64;
+    for (_, a, b, _) in g.edges() {
+        let (da, db) = (deg[a.index()] as f64, deg[b.index()] as f64);
+        sum_xy += 2.0 * da * db;
+        sum_x += da + db;
+        sum_x2 += da * da + db * db;
+    }
+    let mean = sum_x / count;
+    let var = sum_x2 / count - mean * mean;
+    if var <= 1e-12 {
+        return None;
+    }
+    let cov = sum_xy / count - mean * mean;
+    Some(cov / var)
+}
+
+/// Rich-club coefficient φ(k): the density of the subgraph induced by
+/// nodes of degree > k — `E_{>k} / (N_{>k} choose 2)`.
+///
+/// Returns `None` when fewer than 2 nodes exceed `k`. Values near 1 mean
+/// the high-degree "club" is almost a clique.
+pub fn rich_club_coefficient<N, E>(g: &Graph<N, E>, k: usize) -> Option<f64> {
+    let deg = g.degree_sequence();
+    let members: Vec<bool> = deg.iter().map(|&d| d > k).collect();
+    let n_club = members.iter().filter(|&&m| m).count();
+    if n_club < 2 {
+        return None;
+    }
+    let mut club_edges = 0usize;
+    for (_, a, b, _) in g.edges() {
+        if members[a.index()] && members[b.index()] {
+            club_edges += 1;
+        }
+    }
+    Some(club_edges as f64 / (n_club * (n_club - 1) / 2) as f64)
+}
+
+/// Rich-club profile at the degree deciles of the graph, as
+/// `(k, φ(k))` pairs (entries with undefined φ skipped).
+pub fn rich_club_profile<N, E>(g: &Graph<N, E>) -> Vec<(usize, f64)> {
+    let mut degs = g.degree_sequence();
+    degs.sort_unstable();
+    degs.dedup();
+    let mut out = Vec::new();
+    for i in 0..10 {
+        let idx = i * degs.len() / 10;
+        if let Some(&k) = degs.get(idx) {
+            if let Some(phi) = rich_club_coefficient(g, k) {
+                if out.last().map(|&(lk, _)| lk != k).unwrap_or(true) {
+                    out.push((k, phi));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_graph::graph::Graph;
+
+    fn star(n: usize) -> Graph<(), ()> {
+        Graph::from_edges(n, (1..n).map(|i| (0, i, ())).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn star_is_maximally_disassortative() {
+        // Every edge joins the hub (degree n-1) to a leaf (degree 1):
+        // r = -1.
+        let r = assortativity(&star(10)).unwrap();
+        assert!((r + 1.0).abs() < 1e-9, "star assortativity {}", r);
+    }
+
+    #[test]
+    fn regular_graph_undefined() {
+        // Cycle: all degrees equal, zero variance.
+        let g: Graph<(), ()> =
+            Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6, ())).collect::<Vec<_>>());
+        assert!(assortativity(&g).is_none());
+        let empty: Graph<(), ()> = Graph::new();
+        assert!(assortativity(&empty).is_none());
+    }
+
+    #[test]
+    fn two_hub_barbell_is_assortative_leaning() {
+        // Two hubs joined to each other, each with pendant leaves; the
+        // hub-hub edge pushes r above the pure-star value.
+        let mut g: Graph<(), ()> = Graph::new();
+        let h1 = g.add_node(());
+        let h2 = g.add_node(());
+        g.add_edge(h1, h2, ());
+        for _ in 0..3 {
+            let l = g.add_node(());
+            g.add_edge(h1, l, ());
+            let l = g.add_node(());
+            g.add_edge(h2, l, ());
+        }
+        let r = assortativity(&g).unwrap();
+        assert!(r > -1.0 && r < 0.0, "barbell r = {}", r);
+    }
+
+    #[test]
+    fn rich_club_of_clique_with_fringe() {
+        // K4 core (degrees >= 3) plus a pendant leaf per core node.
+        let mut edges = Vec::new();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                edges.push((i, j, ()));
+            }
+        }
+        for i in 0..4 {
+            edges.push((i, 4 + i, ()));
+        }
+        let g: Graph<(), ()> = Graph::from_edges(8, edges);
+        // Club of degree > 1 = the 4 core nodes; density = 6/6 = 1.
+        assert!((rich_club_coefficient(&g, 1).unwrap() - 1.0).abs() < 1e-12);
+        // Club of degree > 4: nobody qualifies.
+        assert!(rich_club_coefficient(&g, 4).is_none());
+    }
+
+    #[test]
+    fn star_has_no_rich_club() {
+        // Only the hub exceeds degree 1: club of size 1 -> undefined.
+        assert!(rich_club_coefficient(&star(8), 1).is_none());
+        // Degree > 0 club = everyone; density of a star = (n-1)/C(n,2).
+        let phi = rich_club_coefficient(&star(8), 0).unwrap();
+        assert!((phi - 7.0 / 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_is_well_formed() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in i + 1..5 {
+                edges.push((i, j, ()));
+            }
+        }
+        for i in 0..5 {
+            edges.push((i, 5 + i, ()));
+        }
+        let g: Graph<(), ()> = Graph::from_edges(10, edges);
+        let profile = rich_club_profile(&g);
+        assert!(!profile.is_empty());
+        for (k, phi) in profile {
+            assert!(phi >= 0.0 && phi <= 1.0, "phi({}) = {}", k, phi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use hot_graph::graph::{Graph, NodeId};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Assortativity, when defined, is a correlation: r ∈ [−1, 1];
+        /// rich-club coefficients are densities: φ ∈ \[0, 1\].
+        #[test]
+        fn ranges_hold(
+            n in 3usize..14,
+            extra in proptest::collection::vec((0usize..14, 0usize..14), 0..20),
+        ) {
+            let mut g: Graph<(), ()> = Graph::new();
+            for _ in 0..n {
+                g.add_node(());
+            }
+            for i in 0..n - 1 {
+                g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), ());
+            }
+            for (a, b) in extra {
+                let (a, b) = (a % n, b % n);
+                if a != b && g.find_edge(NodeId(a as u32), NodeId(b as u32)).is_none() {
+                    g.add_edge(NodeId(a as u32), NodeId(b as u32), ());
+                }
+            }
+            if let Some(r) = assortativity(&g) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {}", r);
+            }
+            for k in 0..4 {
+                if let Some(phi) = rich_club_coefficient(&g, k) {
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&phi), "phi({}) = {}", k, phi);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Exponential-tail fits and the power-law vs exponential classifier.
+//!
+//! The paper's §4.2 headline result is a *negative* power-law claim: the
+//! buy-at-bulk trees have **exponential**, not power-law, degree
+//! distributions. Deciding that requires fitting both families to the
+//! CCDF and comparing fit quality — exactly what [`classify`] does:
+//!
+//! - exponential: `ln P[D ≥ k]` linear in `k`;
+//! - power law: `ln P[D ≥ k]` linear in `ln k`.
+
+use crate::powerlaw::{fit_ccdf, least_squares, Fit};
+
+/// Exponential CCDF fit: least squares of `ln P[D ≥ k]` on `k`.
+/// The returned `exponent` is the decay rate λ. `None` with fewer than 2
+/// distinct degrees.
+pub fn fit_exponential(sample: &[usize]) -> Option<Fit> {
+    let ccdf = hot_graph::degree::ccdf_of(sample);
+    let pts: Vec<(f64, f64)> = ccdf
+        .into_iter()
+        .filter(|&(_, p)| p > 0.0)
+        .map(|(k, p)| (k as f64, p.ln()))
+        .collect();
+    least_squares(&pts)
+}
+
+/// Which tail family fits a degree sample better.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TailClass {
+    /// Power law fits clearly better.
+    PowerLaw,
+    /// Exponential fits clearly better.
+    Exponential,
+    /// Neither fit is clearly better (or too little data).
+    Inconclusive,
+}
+
+/// Result of the classification, with both fits for reporting.
+#[derive(Clone, Copy, Debug)]
+pub struct TailVerdict {
+    pub class: TailClass,
+    /// The CCDF power-law fit, if it exists.
+    pub power: Option<Fit>,
+    /// The exponential fit, if it exists.
+    pub exponential: Option<Fit>,
+}
+
+/// Margin in R² required to call a winner.
+const R2_MARGIN: f64 = 0.015;
+
+/// Classifies a degree sample's tail by comparing CCDF fit quality.
+///
+/// Samples with fewer than 4 distinct degree values are `Inconclusive`
+/// (both families fit 2–3 points near-perfectly).
+pub fn classify(sample: &[usize]) -> TailVerdict {
+    let power = fit_ccdf(sample);
+    let exponential = fit_exponential(sample);
+    let distinct = {
+        let mut s: Vec<usize> = sample.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        s.len()
+    };
+    let class = match (power, exponential) {
+        _ if distinct < 4 => TailClass::Inconclusive,
+        (Some(p), Some(e)) => {
+            if p.r_squared > e.r_squared + R2_MARGIN {
+                TailClass::PowerLaw
+            } else if e.r_squared > p.r_squared + R2_MARGIN {
+                TailClass::Exponential
+            } else {
+                TailClass::Inconclusive
+            }
+        }
+        (Some(_), None) => TailClass::PowerLaw,
+        (None, Some(_)) => TailClass::Exponential,
+        (None, None) => TailClass::Inconclusive,
+    };
+    TailVerdict { class, power, exponential }
+}
+
+impl std::fmt::Display for TailClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TailClass::PowerLaw => write!(f, "power-law"),
+            TailClass::Exponential => write!(f, "exponential"),
+            TailClass::Inconclusive => write!(f, "inconclusive"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn geometric_sample(p_continue: f64, n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut k = 1;
+                while rng.random_range(0.0..1.0) < p_continue && k < 200 {
+                    k += 1;
+                }
+                k
+            })
+            .collect()
+    }
+
+    fn pareto_sample(gamma: f64, n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.random_range(0.0f64..1.0);
+                ((1.0 - u).powf(-1.0 / (gamma - 1.0)).round() as usize).clamp(1, 100_000)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exponential_fit_recovers_rate() {
+        // Geometric with continue prob q: P[D >= k] = q^{k-1},
+        // so ln CCDF slope = ln q.
+        let sample = geometric_sample(0.5, 100_000, 1);
+        let fit = fit_exponential(&sample).unwrap();
+        assert!(
+            (fit.exponent - 0.5f64.ln().abs()).abs() < 0.1,
+            "rate {} expected ~{}",
+            fit.exponent,
+            0.5f64.ln().abs()
+        );
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn classifies_geometric_as_exponential() {
+        let verdict = classify(&geometric_sample(0.6, 50_000, 2));
+        assert_eq!(verdict.class, TailClass::Exponential);
+    }
+
+    #[test]
+    fn classifies_pareto_as_power_law() {
+        let verdict = classify(&pareto_sample(2.3, 50_000, 3));
+        assert_eq!(verdict.class, TailClass::PowerLaw);
+    }
+
+    #[test]
+    fn tiny_support_is_inconclusive() {
+        // Only degrees 1 and 2: both families fit 2 points exactly.
+        let sample = vec![1, 1, 1, 2, 2];
+        assert_eq!(classify(&sample).class, TailClass::Inconclusive);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(TailClass::PowerLaw.to_string(), "power-law");
+        assert_eq!(TailClass::Exponential.to_string(), "exponential");
+        assert_eq!(TailClass::Inconclusive.to_string(), "inconclusive");
+    }
+
+    #[test]
+    fn empty_sample_inconclusive() {
+        assert_eq!(classify(&[]).class, TailClass::Inconclusive);
+    }
+}

@@ -1,0 +1,115 @@
+//! Hierarchy via load concentration.
+//!
+//! Designed networks concentrate transit load on a thin backbone; flat
+//! random graphs spread it evenly. We quantify that with the distribution
+//! of node betweenness: its **Gini coefficient** (0 = perfectly even,
+//! → 1 = all load on a few nodes) and the share carried by the top 10%
+//! of nodes. This is the load-based view of the "hierarchy" property that
+//! structural generators impose explicitly and optimization-driven design
+//! produces as a by-product.
+
+use hot_graph::betweenness::betweenness;
+use hot_graph::graph::Graph;
+
+/// Gini coefficient of a non-negative sample (0 for empty/all-zero).
+pub fn gini(sample: &[f64]) -> f64 {
+    let n = sample.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // Gini = (2·Σ i·x_i) / (n·Σ x) − (n+1)/n with 1-based i on sorted x.
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Hierarchy summary of a graph.
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchySummary {
+    /// Gini coefficient of node betweenness.
+    pub betweenness_gini: f64,
+    /// Fraction of total betweenness carried by the top 10% of nodes.
+    pub top_decile_share: f64,
+}
+
+/// Computes the hierarchy summary (zeros for graphs with < 3 nodes, where
+/// betweenness is trivially 0).
+pub fn hierarchy<N, E>(g: &Graph<N, E>) -> HierarchySummary {
+    let b = betweenness(g);
+    let total: f64 = b.iter().sum();
+    if b.len() < 3 || total <= 0.0 {
+        return HierarchySummary { betweenness_gini: 0.0, top_decile_share: 0.0 };
+    }
+    let mut sorted = b.clone();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let k = (b.len() / 10).max(1);
+    let top: f64 = sorted.iter().take(k).sum();
+    HierarchySummary { betweenness_gini: gini(&b), top_decile_share: top / total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_graph::graph::Graph;
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        // Perfect equality.
+        assert!(gini(&[5.0; 10]).abs() < 1e-12);
+        // Extreme concentration: approaches (n-1)/n.
+        let mut concentrated = vec![0.0; 100];
+        concentrated[0] = 1.0;
+        assert!((gini(&concentrated) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_known_value() {
+        // {1, 3}: Gini = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+        assert!((gini(&[1.0, 3.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_is_maximally_hierarchical() {
+        let star: Graph<(), ()> =
+            Graph::from_edges(20, (1..20).map(|i| (0, i, ())).collect::<Vec<_>>());
+        let h = hierarchy(&star);
+        assert!(h.betweenness_gini > 0.9);
+        assert!((h.top_decile_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_is_flat() {
+        let cycle: Graph<(), ()> =
+            Graph::from_edges(20, (0..20).map(|i| (i, (i + 1) % 20, ())).collect::<Vec<_>>());
+        let h = hierarchy(&cycle);
+        assert!(h.betweenness_gini.abs() < 1e-9, "cycle gini {}", h.betweenness_gini);
+        // Top 10% of a uniform distribution carries ~10%.
+        assert!((h.top_decile_share - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn star_more_hierarchical_than_path() {
+        let star: Graph<(), ()> =
+            Graph::from_edges(20, (1..20).map(|i| (0, i, ())).collect::<Vec<_>>());
+        let path: Graph<(), ()> =
+            Graph::from_edges(20, (0..19).map(|i| (i, i + 1, ())).collect::<Vec<_>>());
+        assert!(
+            hierarchy(&star).betweenness_gini > hierarchy(&path).betweenness_gini
+        );
+    }
+
+    #[test]
+    fn tiny_graphs_zero() {
+        let g: Graph<(), ()> = Graph::from_edges(2, vec![(0, 1, ())]);
+        let h = hierarchy(&g);
+        assert_eq!(h.betweenness_gini, 0.0);
+        assert_eq!(h.top_decile_share, 0.0);
+    }
+}

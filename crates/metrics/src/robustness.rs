@@ -1,0 +1,177 @@
+//! Robust-yet-fragile: degradation under random failure vs targeted
+//! attack.
+//!
+//! HOT's signature (paper §3.1): highly optimized systems are robust to
+//! the perturbations they were designed for and fragile to others. For
+//! topologies, the classic probe (Albert–Jeong–Barabási style) removes a
+//! fraction of nodes either uniformly at random or in decreasing-degree
+//! order, and tracks the largest connected component. Experiment E10
+//! runs this on HOT-designed trees, full ISP topologies, and the
+//! descriptive baselines.
+
+use hot_graph::graph::Graph;
+use hot_graph::traversal::largest_component_size;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Node-removal policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemovalPolicy {
+    /// Uniformly random node failures.
+    RandomFailure,
+    /// Remove highest-degree nodes first (degrees recomputed on the
+    /// original graph, the standard one-shot attack model).
+    DegreeAttack,
+}
+
+/// One point of a degradation curve.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradationPoint {
+    /// Fraction of nodes removed.
+    pub removed_fraction: f64,
+    /// Largest component size as a fraction of the original node count.
+    pub giant_fraction: f64,
+}
+
+/// Computes the degradation curve at the given removal fractions.
+///
+/// For `RandomFailure` the node order is drawn once from `rng`; for
+/// `DegreeAttack` it is the descending-degree order (ties by node id, so
+/// deterministic).
+pub fn degradation<N: Clone, E: Clone>(
+    g: &Graph<N, E>,
+    policy: RemovalPolicy,
+    fractions: &[f64],
+    rng: &mut impl Rng,
+) -> Vec<DegradationPoint> {
+    let n = g.node_count();
+    if n == 0 {
+        return fractions
+            .iter()
+            .map(|&f| DegradationPoint { removed_fraction: f, giant_fraction: 0.0 })
+            .collect();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    match policy {
+        RemovalPolicy::RandomFailure => order.shuffle(rng),
+        RemovalPolicy::DegreeAttack => {
+            let degs = g.degree_sequence();
+            order.sort_by_key(|&v| (std::cmp::Reverse(degs[v]), v));
+        }
+    }
+    fractions
+        .iter()
+        .map(|&f| {
+            assert!((0.0..=1.0).contains(&f), "fraction {} out of range", f);
+            let k = ((n as f64) * f).round() as usize;
+            let mut keep = vec![true; n];
+            for &v in order.iter().take(k) {
+                keep[v] = false;
+            }
+            let (sub, _) = g.induced_subgraph(&keep);
+            DegradationPoint {
+                removed_fraction: f,
+                giant_fraction: largest_component_size(&sub) as f64 / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// Area under the degradation curve (mean giant fraction across the given
+/// removal fractions) — a scalar robustness score; higher is more robust.
+pub fn robustness_score(points: &[DegradationPoint]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points.iter().map(|p| p.giant_fraction).sum::<f64>() / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_graph::graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star(n: usize) -> Graph<(), ()> {
+        Graph::from_edges(n, (1..n).map(|i| (0, i, ())).collect::<Vec<_>>())
+    }
+
+    fn cycle(n: usize) -> Graph<(), ()> {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n, ())).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn attack_shatters_star_instantly() {
+        let g = star(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = degradation(&g, RemovalPolicy::DegreeAttack, &[0.01], &mut rng);
+        // Removing the hub leaves isolated leaves.
+        assert!(pts[0].giant_fraction <= 0.02, "giant {}", pts[0].giant_fraction);
+    }
+
+    #[test]
+    fn star_survives_random_failure_better_than_attack() {
+        let g = star(200);
+        let fractions = [0.05, 0.1];
+        let random = degradation(
+            &g,
+            RemovalPolicy::RandomFailure,
+            &fractions,
+            &mut StdRng::seed_from_u64(2),
+        );
+        let attack = degradation(
+            &g,
+            RemovalPolicy::DegreeAttack,
+            &fractions,
+            &mut StdRng::seed_from_u64(2),
+        );
+        assert!(robustness_score(&random) > 5.0 * robustness_score(&attack));
+    }
+
+    #[test]
+    fn cycle_is_attack_insensitive() {
+        let g = cycle(100);
+        let fractions = [0.05];
+        let attack =
+            degradation(&g, RemovalPolicy::DegreeAttack, &fractions, &mut StdRng::seed_from_u64(3));
+        // All degrees equal: attacking is no worse than failure order.
+        assert!(attack[0].giant_fraction > 0.5);
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let g = star(50);
+        let pts = degradation(
+            &g,
+            RemovalPolicy::RandomFailure,
+            &[0.0],
+            &mut StdRng::seed_from_u64(4),
+        );
+        assert!((pts[0].giant_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_removal_empties_graph() {
+        let g = cycle(10);
+        let pts =
+            degradation(&g, RemovalPolicy::DegreeAttack, &[1.0], &mut StdRng::seed_from_u64(5));
+        assert_eq!(pts[0].giant_fraction, 0.0);
+    }
+
+    #[test]
+    fn empty_graph_degenerate() {
+        let g: Graph<(), ()> = Graph::new();
+        let pts =
+            degradation(&g, RemovalPolicy::RandomFailure, &[0.5], &mut StdRng::seed_from_u64(6));
+        assert_eq!(pts[0].giant_fraction, 0.0);
+        assert_eq!(robustness_score(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_fraction_rejected() {
+        let g = star(10);
+        degradation(&g, RemovalPolicy::DegreeAttack, &[1.5], &mut StdRng::seed_from_u64(7));
+    }
+}

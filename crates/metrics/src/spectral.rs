@@ -1,0 +1,67 @@
+//! Spectral metrics (Vukadinović et al., reference \[31\] in the paper).
+//!
+//! Thin, documented façade over [`hot_graph::spectral`] so the metric
+//! matrix computes everything through one crate. Spectral analysis was
+//! proposed as a generator-distinguishing tool precisely because two
+//! graphs can share a degree sequence and differ in their spectra.
+
+use hot_graph::graph::Graph;
+
+/// Spectral summary of a graph.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralSummary {
+    /// Largest adjacency eigenvalue (spectral radius).
+    pub radius: f64,
+    /// Second-largest adjacency eigenvalue.
+    pub second: f64,
+    /// Algebraic connectivity (Fiedler value of the Laplacian).
+    pub algebraic_connectivity: f64,
+}
+
+/// Computes the spectral summary. Dense O(n²) memory — callers should
+/// skip it above a few thousand nodes (the report module does).
+pub fn spectral_summary<N, E>(g: &Graph<N, E>) -> SpectralSummary {
+    let top = hot_graph::spectral::top_adjacency_eigenvalues(g, 2);
+    SpectralSummary {
+        radius: top.first().copied().unwrap_or(0.0),
+        second: top.get(1).copied().unwrap_or(0.0),
+        algebraic_connectivity: hot_graph::spectral::algebraic_connectivity(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_graph::graph::Graph;
+
+    #[test]
+    fn complete_graph_summary() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in i + 1..5 {
+                edges.push((i, j, ()));
+            }
+        }
+        let g: Graph<(), ()> = Graph::from_edges(5, edges);
+        let s = spectral_summary(&g);
+        assert!((s.radius - 4.0).abs() < 1e-5);
+        assert!((s.second + 1.0).abs() < 1e-3);
+        assert!((s.algebraic_connectivity - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn disconnected_zero_connectivity() {
+        let g: Graph<(), ()> = Graph::from_edges(4, vec![(0, 1, ()), (2, 3, ())]);
+        let s = spectral_summary(&g);
+        assert!(s.algebraic_connectivity.abs() < 1e-6);
+        assert!((s.radius - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_graph_zeros() {
+        let g: Graph<(), ()> = Graph::new();
+        let s = spectral_summary(&g);
+        assert_eq!(s.radius, 0.0);
+        assert_eq!(s.second, 0.0);
+    }
+}

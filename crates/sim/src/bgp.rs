@@ -1,0 +1,290 @@
+//! Valley-free interdomain routing (Gao–Rexford) and policy inflation.
+//!
+//! §2.3 of the paper frames peering as economics; the routing consequence
+//! is that AS paths are not shortest paths: a route may climb
+//! customer→provider links, cross at most one peer–peer link, then
+//! descend provider→customer links — never providing free transit
+//! ("valley-free"). The gap between valley-free and unrestricted path
+//! lengths is the classic *policy inflation* measurement, and it is a
+//! pure artifact of the economic relationships the generator creates.
+
+use hot_core::peering::{Internet, Relationship};
+use std::collections::VecDeque;
+
+/// The AS-level relationship network: adjacency lists per AS, labeled.
+#[derive(Clone, Debug)]
+pub struct AsNetwork {
+    /// `providers[a]` = ASes that sell transit *to* `a`.
+    pub providers: Vec<Vec<usize>>,
+    /// `customers[a]` = ASes that buy transit *from* `a`.
+    pub customers: Vec<Vec<usize>>,
+    /// `peers[a]` = settlement-free peers of `a`.
+    pub peers: Vec<Vec<usize>>,
+}
+
+impl AsNetwork {
+    /// Extracts the relationship network from a generated Internet.
+    /// Duplicate peering links between a pair collapse to one adjacency.
+    pub fn from_internet(net: &Internet) -> Self {
+        let n = net.isps.len();
+        let mut providers = vec![Vec::new(); n];
+        let mut customers = vec![Vec::new(); n];
+        let mut peers = vec![Vec::new(); n];
+        let push_unique = |v: &mut Vec<usize>, x: usize| {
+            if !v.contains(&x) {
+                v.push(x);
+            }
+        };
+        for link in &net.peering {
+            match link.relationship {
+                Relationship::PeerPeer => {
+                    push_unique(&mut peers[link.isp_a], link.isp_b);
+                    push_unique(&mut peers[link.isp_b], link.isp_a);
+                }
+                Relationship::ProviderCustomer => {
+                    // isp_a provides transit to isp_b.
+                    push_unique(&mut customers[link.isp_a], link.isp_b);
+                    push_unique(&mut providers[link.isp_b], link.isp_a);
+                }
+            }
+        }
+        AsNetwork { providers, customers, peers }
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// Whether the network has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.providers.is_empty()
+    }
+
+    /// Shortest **valley-free** AS-path length from `src` to every AS
+    /// (`None` = unreachable under policy).
+    ///
+    /// BFS over `(as, phase)` states with monotone phases:
+    /// `0` = climbing (may take customer→provider, a peer link, or turn
+    /// downhill), `1` = crossed the single allowed peer link (may only
+    /// descend), `2` = descending (provider→customer only).
+    pub fn valley_free_distances(&self, src: usize) -> Vec<Option<u32>> {
+        let n = self.len();
+        // dist[phase][as]
+        let mut dist = vec![[None::<u32>; 3]; n];
+        let mut queue = VecDeque::new();
+        dist[src][0] = Some(0);
+        queue.push_back((src, 0usize));
+        while let Some((a, phase)) = queue.pop_front() {
+            let d = dist[a][phase].expect("queued states have distances");
+            let relax = |b: usize, new_phase: usize, queue: &mut VecDeque<(usize, usize)>,
+                             dist: &mut Vec<[Option<u32>; 3]>| {
+                if dist[b][new_phase].is_none() {
+                    dist[b][new_phase] = Some(d + 1);
+                    queue.push_back((b, new_phase));
+                }
+            };
+            match phase {
+                0 => {
+                    for &p in &self.providers[a] {
+                        relax(p, 0, &mut queue, &mut dist);
+                    }
+                    for &p in &self.peers[a] {
+                        relax(p, 1, &mut queue, &mut dist);
+                    }
+                    for &c in &self.customers[a] {
+                        relax(c, 2, &mut queue, &mut dist);
+                    }
+                }
+                _ => {
+                    for &c in &self.customers[a] {
+                        relax(c, 2, &mut queue, &mut dist);
+                    }
+                }
+            }
+        }
+        dist.into_iter()
+            .map(|per_phase| per_phase.into_iter().flatten().min())
+            .collect()
+    }
+
+    /// Shortest unrestricted AS-path length from `src` (policy ignored).
+    pub fn shortest_distances(&self, src: usize) -> Vec<Option<u32>> {
+        let n = self.len();
+        let mut dist = vec![None::<u32>; n];
+        let mut queue = VecDeque::new();
+        dist[src] = Some(0);
+        queue.push_back(src);
+        while let Some(a) = queue.pop_front() {
+            let d = dist[a].expect("queued");
+            for nbrs in [&self.providers[a], &self.customers[a], &self.peers[a]] {
+                for &b in nbrs {
+                    if dist[b].is_none() {
+                        dist[b] = Some(d + 1);
+                        queue.push_back(b);
+                    }
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Policy-inflation statistics over all ordered AS pairs.
+#[derive(Clone, Copy, Debug)]
+pub struct InflationStats {
+    /// Pairs reachable under policy / pairs reachable at all.
+    pub policy_reachability: f64,
+    /// Mean of (valley-free length / shortest length) over pairs
+    /// reachable both ways.
+    pub mean_inflation: f64,
+    /// Fraction of those pairs whose path is strictly inflated.
+    pub inflated_fraction: f64,
+    /// Maximum observed inflation ratio.
+    pub max_inflation: f64,
+}
+
+/// Computes inflation statistics for an AS network.
+pub fn policy_inflation(net: &AsNetwork) -> InflationStats {
+    let n = net.len();
+    let mut reach_shortest = 0usize;
+    let mut reach_policy = 0usize;
+    let mut inflation_sum = 0.0;
+    let mut inflated = 0usize;
+    let mut compared = 0usize;
+    let mut max_inflation = 1.0f64;
+    for src in 0..n {
+        let vf = net.valley_free_distances(src);
+        let sp = net.shortest_distances(src);
+        for dst in 0..n {
+            if dst == src {
+                continue;
+            }
+            if let Some(s) = sp[dst] {
+                reach_shortest += 1;
+                if let Some(v) = vf[dst] {
+                    reach_policy += 1;
+                    debug_assert!(v >= s, "policy cannot beat shortest");
+                    if s > 0 {
+                        let ratio = v as f64 / s as f64;
+                        inflation_sum += ratio;
+                        compared += 1;
+                        max_inflation = max_inflation.max(ratio);
+                        if v > s {
+                            inflated += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    InflationStats {
+        policy_reachability: if reach_shortest > 0 {
+            reach_policy as f64 / reach_shortest as f64
+        } else {
+            1.0
+        },
+        mean_inflation: if compared > 0 { inflation_sum / compared as f64 } else { 1.0 },
+        inflated_fraction: if compared > 0 { inflated as f64 / compared as f64 } else { 0.0 },
+        max_inflation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built network:
+    ///   0 and 1 are tier-1 peers;
+    ///   0 provides 2; 1 provides 3; 2 provides 4.
+    fn toy() -> AsNetwork {
+        let mut net = AsNetwork {
+            providers: vec![Vec::new(); 5],
+            customers: vec![Vec::new(); 5],
+            peers: vec![Vec::new(); 5],
+        };
+        net.peers[0].push(1);
+        net.peers[1].push(0);
+        let pc = [(0usize, 2usize), (1, 3), (2, 4)];
+        for (p, c) in pc {
+            net.customers[p].push(c);
+            net.providers[c].push(p);
+        }
+        net
+    }
+
+    #[test]
+    fn valley_free_basic_paths() {
+        let net = toy();
+        let from4 = net.valley_free_distances(4);
+        // 4 -> 2 -> 0 -> peer 1 -> 3: length 4, valley-free.
+        assert_eq!(from4[3], Some(4));
+        assert_eq!(from4[0], Some(2));
+        assert_eq!(from4[4], Some(0));
+    }
+
+    #[test]
+    fn no_transit_through_customers() {
+        // Add a second provider 5 of customer 4... simpler: check peer
+        // transit ban: make 2 and 3 peers; 4 -> 2 -> 3 is legal (one peer
+        // crossing), but 0 -> 2 -> 3 would require provider->customer then
+        // peer, which is a valley: after descending you cannot peer.
+        let mut net = toy();
+        net.peers[2].push(3);
+        net.peers[3].push(2);
+        let from0 = net.valley_free_distances(0);
+        // 0 -> 2 (down) then 2 -> 3 (peer) is a valley: forbidden.
+        // But 0 -> peer 1 -> 3 (down) is fine: length 2.
+        assert_eq!(from0[3], Some(2));
+        let from4 = net.valley_free_distances(4);
+        // 4 -> 2 (up) -> 3 (peer) now shortens reaching 3 to 2 hops.
+        assert_eq!(from4[3], Some(2));
+    }
+
+    #[test]
+    fn valley_blocks_peer_to_peer_transit() {
+        // Two stub customers under different tier-1s that do NOT peer:
+        // 0 provides 2, 1 provides 3, no peer link. 2 cannot reach 3.
+        let mut net = toy();
+        net.peers[0].clear();
+        net.peers[1].clear();
+        let from2 = net.valley_free_distances(2);
+        assert_eq!(from2[3], None, "no valley-free route should exist");
+        // Unrestricted shortest path also disconnected here (0-1 edge was
+        // the peer link), so remove... wait: shortest uses peers too and
+        // they're cleared: also disconnected.
+        assert_eq!(net.shortest_distances(2)[3], None);
+    }
+
+    #[test]
+    fn inflation_on_toy() {
+        let net = toy();
+        let stats = policy_inflation(&net);
+        // Everything reachable under policy in this tree-with-peer-top.
+        assert!((stats.policy_reachability - 1.0).abs() < 1e-12);
+        assert!(stats.mean_inflation >= 1.0);
+        assert!(stats.max_inflation >= stats.mean_inflation);
+    }
+
+    #[test]
+    fn policy_never_beats_shortest() {
+        let net = toy();
+        for src in 0..net.len() {
+            let vf = net.valley_free_distances(src);
+            let sp = net.shortest_distances(src);
+            for dst in 0..net.len() {
+                if let (Some(v), Some(s)) = (vf[dst], sp[dst]) {
+                    assert!(v >= s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = AsNetwork { providers: vec![], customers: vec![], peers: vec![] };
+        assert!(net.is_empty());
+        let stats = policy_inflation(&net);
+        assert_eq!(stats.mean_inflation, 1.0);
+    }
+}

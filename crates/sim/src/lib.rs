@@ -1,0 +1,21 @@
+//! # hot-sim — protocols on top of generated topologies
+//!
+//! The paper's abstract promises that an explanatory topology framework
+//! "should provide a scientific foundation for the investigation of other
+//! important problems, such as pricing, peering, or the dynamics of
+//! routing protocols", and its introduction leans on Tangmunarunkit et
+//! al.'s observation that topology drives protocol *performance*. This
+//! crate closes that loop: it runs protocol-level computations on the
+//! topologies the workspace generates.
+//!
+//! | module | what it simulates | paper anchor |
+//! |---|---|---|
+//! | [`routing`] | intradomain shortest-path routing, per-link load, utilization | §1 ("dramatic impact on performance") |
+//! | [`failure`] | single-link failures: re-routing stretch, disconnected demand | §3.1 robustness; §4 fn.7 redundancy |
+//! | [`bgp`] | valley-free (Gao–Rexford) interdomain paths, policy inflation | §2.3 peering economics |
+//! | [`traceroute`] | vantage-point path sampling, inferred-map bias | §1/§3.2 incomplete measured maps |
+
+pub mod bgp;
+pub mod failure;
+pub mod routing;
+pub mod traceroute;

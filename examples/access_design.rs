@@ -1,0 +1,66 @@
+//! Access design deep-dive: solve one metro with every algorithm in the
+//! buy-at-bulk toolbox and export the winner as Graphviz DOT.
+//!
+//! ```text
+//! cargo run --release --example access_design > metro.dot
+//! dot -Tsvg metro.dot -o metro.svg   # if graphviz is installed
+//! ```
+//! (The comparison table goes to stderr so stdout stays a clean DOT file.)
+
+use hotgen::core::buyatbulk::{exact, greedy, mmp};
+use hotgen::graph::io::to_dot;
+use hotgen::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let cost = LinkCost::cables_only(CableCatalog::realistic_2003());
+    // Small enough that the exact solver can join the comparison.
+    let tiny = Instance::random_uniform(7, 30.0, cost.clone(), &mut rng);
+    eprintln!("--- 7-customer instance (exact optimum available) ---");
+    let (opt_sol, opt) = exact::solve(&tiny);
+    for (name, c) in [
+        ("exact", opt),
+        ("star", greedy::star(&tiny).total_cost(&tiny)),
+        ("mst-route", greedy::mst_route(&tiny).total_cost(&tiny)),
+        ("mmp", mmp::solve(&tiny, &mut rng).total_cost(&tiny)),
+        ("mmp+ls", greedy::mmp_plus_improve(&tiny, &mut rng, 500).final_cost),
+    ] {
+        eprintln!("{:<10} cost {:>8.2}  ratio {:.3}", name, c, c / opt);
+    }
+    let _ = opt_sol;
+
+    // A realistic metro for the DOT export.
+    let metro = Instance::random_uniform(80, 20.0, cost, &mut rng);
+    let solution = greedy::mmp_plus_improve(&metro, &mut rng, 2000).solution;
+    let cables = solution.cable_assignments(&metro);
+    let flows = solution.uplink_flows(&metro);
+    eprintln!("\n--- 80-customer metro: DOT on stdout ---");
+    let graph = solution.to_graph(&metro);
+    let dot = to_dot(
+        &graph,
+        |v, _| {
+            let p = metro.node_point(v.index());
+            if v.index() == 0 {
+                format!("label=\"CO\", shape=doublecircle, pos=\"{:.3},{:.3}!\"", p.x * 10.0, p.y * 10.0)
+            } else {
+                format!("label=\"\", shape=point, pos=\"{:.3},{:.3}!\"", p.x * 10.0, p.y * 10.0)
+            }
+        },
+        |e, _| {
+            // Label trunk edges with their cable type; find the child node
+            // of this edge (to_graph emits child->parent in child order).
+            let (child, _) = graph.edge_endpoints(e);
+            let v = child.index();
+            let (cable_idx, _) = cables[v];
+            let name = metro.cost.catalog.types()[cable_idx].name;
+            if flows[v] > 100.0 {
+                format!("label=\"{}\", penwidth=2", name)
+            } else {
+                String::new()
+            }
+        },
+    );
+    println!("{}", dot);
+}

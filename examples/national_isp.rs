@@ -1,0 +1,59 @@
+//! National ISP: the paper's §2.2 pipeline end to end — census, gravity
+//! demand, backbone + metro + access design — under both formulations.
+//!
+//! ```text
+//! cargo run --release --example national_isp
+//! ```
+
+use hotgen::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Geography: 50 Zipf-ranked cities clustered into metro corridors.
+    let census = Census::synthesize(
+        &CensusConfig { n_cities: 50, ..CensusConfig::default() },
+        &mut StdRng::seed_from_u64(3),
+    );
+    let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
+    println!("census: {} cities, top city population {:.0}", census.cities.len(), census.cities[0].population);
+    let heaviest = traffic.ranked_pairs()[0];
+    println!(
+        "heaviest traffic pair: city {} <-> city {} ({:.0} units)",
+        heaviest.0, heaviest.1, heaviest.2
+    );
+    for formulation in [
+        Formulation::CostBased,
+        Formulation::ProfitBased {
+            revenue: RevenueModel::PerUnitDemand { base: 250.0, per_unit: 15.0 },
+        },
+    ] {
+        let config = IspConfig {
+            n_pops: 10,
+            total_customers: 1000,
+            formulation,
+            ..IspConfig::default()
+        };
+        let isp = generate_isp(&census, &traffic, &config, &mut StdRng::seed_from_u64(4));
+        println!("\n=== {} ISP ===", formulation.name());
+        println!(
+            "{} routers ({} backbone, {} distribution, {} customers), {} links, {:.0} fiber-km",
+            isp.graph.node_count(),
+            isp.count_role(RouterRole::Backbone),
+            isp.count_role(RouterRole::Distribution),
+            isp.count_role(RouterRole::Customer),
+            isp.graph.edge_count(),
+            isp.total_length()
+        );
+        if isp.rejected_customers > 0 {
+            println!("{} customers were unprofitable and not served", isp.rejected_customers);
+        }
+        let report = MetricReport::compute(formulation.name(), &isp.graph);
+        println!("{}", MetricReport::table(std::slice::from_ref(&report)));
+    }
+    println!(
+        "note how hierarchy (backbone/distribution/access) emerged from \
+         three optimization problems — nowhere did we impose a degree \
+         distribution or a level structure on the graph itself."
+    );
+}

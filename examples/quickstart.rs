@@ -1,0 +1,52 @@
+//! Quickstart: design a metro access network the way the paper's §4
+//! proposes, and look at what got built.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hotgen::core::buyatbulk::{greedy, routing::build_report};
+use hotgen::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    // 1. An economy: the paper's buy-at-bulk cable catalog — bigger pipes
+    //    cost more to install but much less per megabit.
+    let catalog = CableCatalog::realistic_2003();
+    println!("cable catalog (per unit length):");
+    for t in catalog.types() {
+        println!(
+            "  {:<8} capacity {:>7.0}  fixed {:>6.1}  marginal {:>6.3}",
+            t.name, t.capacity, t.fixed_cost, t.marginal_cost
+        );
+    }
+    // 2. A metro: 120 customers scattered around a central office.
+    let cost = LinkCost::cables_only(catalog);
+    let instance = Instance::random_uniform(120, 20.0, cost, &mut rng);
+    println!("\ninstance: {} customers, {:.0} total demand", instance.n_customers(), instance.total_demand());
+    // 3. Solve: the randomized incremental approximation, then local search.
+    let outcome = greedy::mmp_plus_improve(&instance, &mut rng, 2000);
+    println!(
+        "\nMMP cost {:.1} -> after local search {:.1} ({} moves)",
+        outcome.initial_cost, outcome.final_cost, outcome.moves
+    );
+    // Compare against the no-aggregation star design.
+    let star_cost = greedy::star(&instance).total_cost(&instance);
+    println!("direct-star design would cost {:.1} ({:.2}x)", star_cost, star_cost / outcome.final_cost);
+    // 4. Inspect the build.
+    let report = build_report(&instance, &outcome.solution);
+    println!("\nbuild: {:.2} fiber-km, mean {:.1} hops to the core", report.total_length, report.mean_hops);
+    println!("cable-km by type:");
+    for (i, km) in report.cable_km.iter().enumerate() {
+        if *km > 0.0 {
+            println!("  {:<8} {:.2}", instance.cost.catalog.types()[i].name, km);
+        }
+    }
+    // 5. The paper's punchline: the tree's degrees are exponentially
+    //    distributed — a by-product of cost optimization, not a target.
+    let degrees = outcome.solution.degree_sequence();
+    let verdict = hotgen::metrics::expfit::classify(&degrees);
+    println!("\ndegree tail: {} (max degree {})", verdict.class, degrees.iter().max().unwrap());
+}

@@ -1,0 +1,172 @@
+//! The paper's quantitative claims as executable assertions — a cheap,
+//! always-on version of the E1–E10 experiment suite. If one of these
+//! fails, the reproduction no longer reproduces.
+
+use hotgen::core::buyatbulk::mmp;
+use hotgen::graph::tree::is_tree;
+use hotgen::metrics::expfit::{classify, TailClass};
+use hotgen::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// §3.1 / FKP: alpha below 1/sqrt(2) yields a star.
+#[test]
+fn claim_fkp_small_alpha_star() {
+    let config = FkpConfig { n: 500, alpha: 0.5, ..FkpConfig::default() };
+    let topo = fkp::grow(&config, &mut StdRng::seed_from_u64(1));
+    assert_eq!(fkp::classify(&topo), fkp::TopologyClass::Star);
+}
+
+/// §3.1 / FKP: intermediate alpha yields heavy-tailed hubs; huge alpha
+/// yields a light-tailed distance tree.
+#[test]
+fn claim_fkp_regime_transition() {
+    let hubs = fkp::grow(
+        &FkpConfig { n: 3000, alpha: 8.0, ..FkpConfig::default() },
+        &mut StdRng::seed_from_u64(2),
+    );
+    let distance = fkp::grow(
+        &FkpConfig { n: 3000, alpha: 3000.0, ..FkpConfig::default() },
+        &mut StdRng::seed_from_u64(2),
+    );
+    let hub_max = hubs.degree_sequence().into_iter().max().unwrap();
+    let dist_max = distance.degree_sequence().into_iter().max().unwrap();
+    assert!(hub_max > 10 * dist_max, "hub {} vs distance {}", hub_max, dist_max);
+    assert_eq!(classify(&distance.degree_sequence()).class, TailClass::Exponential);
+}
+
+/// §4.2, the headline: MMP buy-at-bulk with the realistic catalog yields
+/// trees with exponential degree distributions.
+#[test]
+fn claim_buyatbulk_exponential_trees() {
+    let cost = LinkCost::cables_only(CableCatalog::realistic_2003());
+    let mut pooled = Vec::new();
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = Instance::random_uniform(300, 15.0, cost.clone(), &mut rng);
+        let solution = mmp::solve(&instance, &mut rng);
+        assert!(is_tree(&solution.to_graph(&instance)));
+        pooled.extend(solution.degree_sequence());
+    }
+    assert_eq!(classify(&pooled).class, TailClass::Exponential);
+}
+
+/// §3.1 / HOT-PLR: the optimized design minimizes expected loss AND has
+/// the heaviest loss tail.
+#[test]
+fn claim_plr_optimization_creates_heavy_tails() {
+    let base = PlrConfig {
+        n_cells: 100,
+        density: SparkDensity::Exponential { rate: 20.0 },
+        design: Design::HotOptimal,
+        resolution: 50_000,
+    };
+    let hot = plr::solve(&base);
+    let uniform = plr::solve(&PlrConfig { design: Design::UniformGrid, ..base });
+    assert!(hot.expected_loss() < uniform.expected_loss());
+    // Tail heaviness via max/median cell loss.
+    let spread = |s: &hotgen::core::plr::PlrSolution| {
+        let mut lens: Vec<f64> = (0..s.n_cells()).map(|i| s.cell_loss(i)).collect();
+        lens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        lens[lens.len() - 1] / lens[lens.len() / 2]
+    };
+    assert!(spread(&hot) > 5.0 * spread(&uniform));
+}
+
+/// §4 footnote 7: a redundancy requirement breaks the tree structure.
+#[test]
+fn claim_redundancy_breaks_tree() {
+    use hotgen::core::isp::backbone::{design, BackboneConfig};
+    let mut rng = StdRng::seed_from_u64(3);
+    let pops: Vec<Point> =
+        (0..10).map(|_| BoundingBox::unit().sample_uniform(&mut rng)).collect();
+    let tree = design(
+        &pops,
+        |_, _| 1.0,
+        &BackboneConfig { redundancy: false, shortcut_pairs: 0, ..Default::default() },
+    );
+    let mesh = design(
+        &pops,
+        |_, _| 1.0,
+        &BackboneConfig { redundancy: true, shortcut_pairs: 0, ..Default::default() },
+    );
+    assert_eq!(tree.edges.len(), 9); // spanning tree
+    assert!(mesh.edges.len() > 9); // tree is gone
+}
+
+/// §3.2: AS degrees heavy-tailed while router degrees are capped, from
+/// one generated economy.
+#[test]
+fn claim_as_vs_router_degree_laws() {
+    let census = Census::synthesize(
+        &CensusConfig { n_cities: 15, ..CensusConfig::default() },
+        &mut StdRng::seed_from_u64(4),
+    );
+    let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
+    let config = InternetConfig {
+        n_isps: 25,
+        max_pops: 8,
+        customers_per_pop: 6,
+        ..InternetConfig::default()
+    };
+    let net = generate_internet(&census, &traffic, &config, &mut StdRng::seed_from_u64(5));
+    let as_max = *net.as_degrees().iter().max().unwrap();
+    // Tier-1 providers accumulate many AS neighbors...
+    assert!(as_max >= 8, "max AS degree {}", as_max);
+    // ...while no router anywhere exceeds the line-card cap.
+    let router_max = net
+        .combined_router_graph()
+        .degree_sequence()
+        .into_iter()
+        .max()
+        .unwrap();
+    assert!(router_max <= net.router_degree_cap);
+}
+
+/// §3.1 robust-yet-fragile: optimized hub trees survive random failure
+/// far better than targeted attack.
+#[test]
+fn claim_robust_yet_fragile() {
+    use hotgen::metrics::robustness::{degradation, robustness_score, RemovalPolicy};
+    let topo = fkp::grow(
+        &FkpConfig { n: 800, alpha: 10.0, ..FkpConfig::default() },
+        &mut StdRng::seed_from_u64(6),
+    );
+    let g = topo.to_graph();
+    let fractions = [0.02, 0.05, 0.1];
+    let random = degradation(
+        &g,
+        RemovalPolicy::RandomFailure,
+        &fractions,
+        &mut StdRng::seed_from_u64(7),
+    );
+    let attack = degradation(
+        &g,
+        RemovalPolicy::DegreeAttack,
+        &fractions,
+        &mut StdRng::seed_from_u64(7),
+    );
+    assert!(robustness_score(&random) > 5.0 * robustness_score(&attack));
+}
+
+/// §1: two generators matched on the degree-tail class still differ on
+/// other metrics (the critique of descriptive modeling).
+#[test]
+fn claim_matched_tail_unmatched_structure() {
+    use hotgen::baselines::ba;
+    let fkp_graph = fkp::grow(
+        &FkpConfig { n: 800, alpha: 10.0, ..FkpConfig::default() },
+        &mut StdRng::seed_from_u64(8),
+    )
+    .to_graph();
+    let ba_graph = ba::generate(800, 2, &mut StdRng::seed_from_u64(9));
+    let a = MetricReport::compute("fkp", &fkp_graph);
+    let b = MetricReport::compute("ba", &ba_graph);
+    // Both heavy-tailed...
+    assert_eq!(a.tail, TailClass::PowerLaw);
+    assert_eq!(b.tail, TailClass::PowerLaw);
+    // ...yet structurally far apart: BA (m=2) has cycles and expands
+    // faster; the FKP tree concentrates load far more.
+    assert!(b.resilience > 2.0 * a.resilience);
+    assert!(b.expansion3 > 1.2 * a.expansion3);
+}
