@@ -68,7 +68,11 @@ pub fn generate(config: &BriteConfig, rng: &mut impl Rng) -> Graph<Point, f64> {
         let existing = g.node_count();
         let mut weights: Vec<f64> = Vec::with_capacity(existing);
         for v in g.node_ids() {
-            let pref = if config.preferential { g.degree(v) as f64 } else { 1.0 };
+            let pref = if config.preferential {
+                g.degree(v) as f64
+            } else {
+                1.0
+            };
             let loc = match config.locality_alpha {
                 Some(alpha) => (-g.node_weight(v).dist(&p) / (alpha * l)).exp(),
                 None => 1.0,
@@ -97,7 +101,9 @@ pub fn generate(config: &BriteConfig, rng: &mut impl Rng) -> Graph<Point, f64> {
                 }
             }
             let t = target.unwrap_or_else(|| {
-                (0..existing).find(|i| !chosen.contains(i)).expect("m <= existing")
+                (0..existing)
+                    .find(|i| !chosen.contains(i))
+                    .expect("m <= existing")
             });
             chosen.push(t);
             let tv = NodeId(t as u32);
@@ -118,7 +124,13 @@ mod tests {
     #[test]
     fn counts_and_connectivity() {
         let mut rng = StdRng::seed_from_u64(1);
-        let g = generate(&BriteConfig { n: 300, ..BriteConfig::default() }, &mut rng);
+        let g = generate(
+            &BriteConfig {
+                n: 300,
+                ..BriteConfig::default()
+            },
+            &mut rng,
+        );
         assert_eq!(g.node_count(), 300);
         // Seed clique on m+1=3 nodes has 3 edges; 297 arrivals add 2 each.
         assert_eq!(g.edge_count(), 3 + 297 * 2);
@@ -128,11 +140,19 @@ mod tests {
     #[test]
     fn locality_shortens_edges() {
         let local = generate(
-            &BriteConfig { n: 400, locality_alpha: Some(0.05), ..BriteConfig::default() },
+            &BriteConfig {
+                n: 400,
+                locality_alpha: Some(0.05),
+                ..BriteConfig::default()
+            },
             &mut StdRng::seed_from_u64(2),
         );
         let global = generate(
-            &BriteConfig { n: 400, locality_alpha: None, ..BriteConfig::default() },
+            &BriteConfig {
+                n: 400,
+                locality_alpha: None,
+                ..BriteConfig::default()
+            },
             &mut StdRng::seed_from_u64(2),
         );
         let mean = |g: &Graph<Point, f64>| g.total_edge_weight(|w| *w) / g.edge_count() as f64;
@@ -181,7 +201,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = BriteConfig { n: 200, ..BriteConfig::default() };
+        let cfg = BriteConfig {
+            n: 200,
+            ..BriteConfig::default()
+        };
         let a = generate(&cfg, &mut StdRng::seed_from_u64(5));
         let b = generate(&cfg, &mut StdRng::seed_from_u64(5));
         assert_eq!(a.degree_sequence(), b.degree_sequence());

@@ -27,7 +27,12 @@ pub struct GlpConfig {
 
 impl Default for GlpConfig {
     fn default() -> Self {
-        GlpConfig { n: 1000, m: 2, p: 0.47, beta: 0.64 }
+        GlpConfig {
+            n: 1000,
+            m: 2,
+            p: 0.47,
+            beta: 0.64,
+        }
     }
 }
 
@@ -110,7 +115,13 @@ mod tests {
     #[test]
     fn reaches_target_size_connected() {
         let mut rng = StdRng::seed_from_u64(1);
-        let g = generate(&GlpConfig { n: 500, ..GlpConfig::default() }, &mut rng);
+        let g = generate(
+            &GlpConfig {
+                n: 500,
+                ..GlpConfig::default()
+            },
+            &mut rng,
+        );
         assert_eq!(g.node_count(), 500);
         assert!(is_connected(&g));
     }
@@ -118,7 +129,13 @@ mod tests {
     #[test]
     fn denser_than_tree() {
         let mut rng = StdRng::seed_from_u64(2);
-        let g = generate(&GlpConfig { n: 500, ..GlpConfig::default() }, &mut rng);
+        let g = generate(
+            &GlpConfig {
+                n: 500,
+                ..GlpConfig::default()
+            },
+            &mut rng,
+        );
         // Edge-only events add density beyond n-1.
         assert!(g.edge_count() > 550, "{} edges", g.edge_count());
     }
@@ -126,7 +143,13 @@ mod tests {
     #[test]
     fn grows_hubs() {
         let mut rng = StdRng::seed_from_u64(3);
-        let g = generate(&GlpConfig { n: 2000, ..GlpConfig::default() }, &mut rng);
+        let g = generate(
+            &GlpConfig {
+                n: 2000,
+                ..GlpConfig::default()
+            },
+            &mut rng,
+        );
         let max_deg = g.degree_sequence().into_iter().max().unwrap();
         assert!(max_deg > 50, "max degree {}", max_deg);
     }
@@ -134,7 +157,12 @@ mod tests {
     #[test]
     fn p_one_degenerates_to_growth_only() {
         let mut rng = StdRng::seed_from_u64(4);
-        let config = GlpConfig { n: 100, m: 1, p: 1.0, beta: 0.0 };
+        let config = GlpConfig {
+            n: 100,
+            m: 1,
+            p: 1.0,
+            beta: 0.0,
+        };
         let g = generate(&config, &mut rng);
         // Pure growth with m = 1 from a 2-path seed: tree.
         assert_eq!(g.edge_count(), g.node_count() - 1);
@@ -143,12 +171,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "beta must be < 1")]
     fn bad_beta_rejected() {
-        generate(&GlpConfig { beta: 1.0, ..GlpConfig::default() }, &mut StdRng::seed_from_u64(0));
+        generate(
+            &GlpConfig {
+                beta: 1.0,
+                ..GlpConfig::default()
+            },
+            &mut StdRng::seed_from_u64(0),
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = GlpConfig { n: 300, ..GlpConfig::default() };
+        let cfg = GlpConfig {
+            n: 300,
+            ..GlpConfig::default()
+        };
         let a = generate(&cfg, &mut StdRng::seed_from_u64(5));
         let b = generate(&cfg, &mut StdRng::seed_from_u64(5));
         assert_eq!(a.degree_sequence(), b.degree_sequence());

@@ -22,11 +22,15 @@ pub fn power_law_degrees(
     max_degree: usize,
     rng: &mut impl Rng,
 ) -> Vec<usize> {
-    assert!(min_degree >= 1 && max_degree >= min_degree, "bad degree bounds");
+    assert!(
+        min_degree >= 1 && max_degree >= min_degree,
+        "bad degree bounds"
+    );
     assert!(gamma > 0.0, "gamma must be positive");
     // Inverse-CDF table over the discrete support.
-    let weights: Vec<f64> =
-        (min_degree..=max_degree).map(|k| (k as f64).powf(-gamma)).collect();
+    let weights: Vec<f64> = (min_degree..=max_degree)
+        .map(|k| (k as f64).powf(-gamma))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut degrees: Vec<usize> = (0..n)
         .map(|_| {
@@ -93,12 +97,7 @@ pub fn configuration_model(degrees: &[usize], rng: &mut impl Rng) -> Graph<(), (
 }
 
 /// Convenience: PLRG with the given exponent.
-pub fn generate(
-    n: usize,
-    gamma: f64,
-    min_degree: usize,
-    rng: &mut impl Rng,
-) -> Graph<(), ()> {
+pub fn generate(n: usize, gamma: f64, min_degree: usize, rng: &mut impl Rng) -> Graph<(), ()> {
     let max_degree = ((n as f64).sqrt() as usize).max(min_degree + 1);
     let degrees = power_law_degrees(n, gamma, min_degree, max_degree, rng);
     configuration_model(&degrees, rng)

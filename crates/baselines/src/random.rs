@@ -31,7 +31,12 @@ pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph<(), ()> {
 /// Panics if `m` exceeds the number of possible edges.
 pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Graph<(), ()> {
     let possible = n * n.saturating_sub(1) / 2;
-    assert!(m <= possible, "m = {} exceeds {} possible edges", m, possible);
+    assert!(
+        m <= possible,
+        "m = {} exceeds {} possible edges",
+        m,
+        possible
+    );
     let mut g = Graph::with_capacity(n, m);
     for _ in 0..n {
         g.add_node(());
@@ -89,7 +94,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = gnp(100, 0.1, &mut rng);
         // Expectation 495; allow wide slack.
-        assert!(g.edge_count() > 350 && g.edge_count() < 650, "{} edges", g.edge_count());
+        assert!(
+            g.edge_count() > 350 && g.edge_count() < 650,
+            "{} edges",
+            g.edge_count()
+        );
     }
 
     #[test]

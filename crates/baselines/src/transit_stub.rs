@@ -61,7 +61,10 @@ pub enum TsRole {
 /// domain connects to its transit router by one link.
 pub fn generate(config: &TransitStubConfig, rng: &mut impl Rng) -> Graph<TsRole, ()> {
     assert!(config.transit_domains >= 1, "need a transit domain");
-    assert!(config.transit_size >= 1 && config.stub_size >= 1, "domains need routers");
+    assert!(
+        config.transit_size >= 1 && config.stub_size >= 1,
+        "domains need routers"
+    );
     let mut g: Graph<TsRole, ()> = Graph::new();
     let mut transit_nodes: Vec<Vec<NodeId>> = Vec::new();
     for _ in 0..config.transit_domains {
@@ -85,8 +88,13 @@ pub fn generate(config: &TransitStubConfig, rng: &mut impl Rng) -> Graph<TsRole,
     for domain in transit_nodes.iter() {
         for &t in domain {
             for _ in 0..config.stubs_per_transit_node {
-                let stub =
-                    add_connected_domain(&mut g, TsRole::Stub, config.stub_size, config.stub_p, rng);
+                let stub = add_connected_domain(
+                    &mut g,
+                    TsRole::Stub,
+                    config.stub_size,
+                    config.stub_p,
+                    rng,
+                );
                 let gateway = stub[rng.random_range(0..stub.len())];
                 g.add_edge(t, gateway, ());
             }
@@ -115,7 +123,10 @@ fn add_connected_domain(
         // First node of each component, linked in a chain.
         let mut reps = Vec::with_capacity(k);
         for c in 0..k {
-            let rep = labels.iter().position(|&l| l == c).expect("component non-empty");
+            let rep = labels
+                .iter()
+                .position(|&l| l == c)
+                .expect("component non-empty");
             reps.push(rep);
         }
         for w in reps.windows(2) {
@@ -152,7 +163,11 @@ mod tests {
         for seed in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             // Low p stresses the connectivity fix-up.
-            let config = TransitStubConfig { transit_p: 0.1, stub_p: 0.05, ..Default::default() };
+            let config = TransitStubConfig {
+                transit_p: 0.1,
+                stub_p: 0.05,
+                ..Default::default()
+            };
             let g = generate(&config, &mut rng);
             assert!(is_connected(&g), "seed {}", seed);
         }
@@ -162,7 +177,10 @@ mod tests {
     fn stub_routers_dominate() {
         let mut rng = StdRng::seed_from_u64(2);
         let g = generate(&TransitStubConfig::default(), &mut rng);
-        let stub_count = g.node_ids().filter(|&v| *g.node_weight(v) == TsRole::Stub).count();
+        let stub_count = g
+            .node_ids()
+            .filter(|&v| *g.node_weight(v) == TsRole::Stub)
+            .count();
         assert!(stub_count as f64 > 0.8 * g.node_count() as f64);
     }
 

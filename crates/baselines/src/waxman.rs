@@ -31,7 +31,12 @@ pub struct WaxmanConfig {
 
 impl Default for WaxmanConfig {
     fn default() -> Self {
-        WaxmanConfig { n: 100, alpha: 0.15, beta: 0.4, region: BoundingBox::unit() }
+        WaxmanConfig {
+            n: 100,
+            alpha: 0.15,
+            beta: 0.4,
+            region: BoundingBox::unit(),
+        }
     }
 }
 
@@ -40,8 +45,9 @@ pub fn generate(config: &WaxmanConfig, rng: &mut impl Rng) -> Graph<Point, f64> 
     assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha in (0,1]");
     assert!(config.beta > 0.0 && config.beta <= 1.0, "beta in (0,1]");
     let l = config.region.diagonal();
-    let points: Vec<Point> =
-        (0..config.n).map(|_| config.region.sample_uniform(rng)).collect();
+    let points: Vec<Point> = (0..config.n)
+        .map(|_| config.region.sample_uniform(rng))
+        .collect();
     let mut g = Graph::with_capacity(config.n, config.n * 4);
     for p in &points {
         g.add_node(*p);
@@ -78,7 +84,10 @@ mod tests {
     #[test]
     fn short_edges_dominate() {
         let mut rng = StdRng::seed_from_u64(2);
-        let config = WaxmanConfig { n: 300, ..WaxmanConfig::default() };
+        let config = WaxmanConfig {
+            n: 300,
+            ..WaxmanConfig::default()
+        };
         let g = generate(&config, &mut rng);
         assert!(g.edge_count() > 100);
         let mean_edge_len = g.total_edge_weight(|w| *w) / g.edge_count() as f64;
@@ -90,11 +99,19 @@ mod tests {
     #[test]
     fn beta_scales_density() {
         let sparse = generate(
-            &WaxmanConfig { beta: 0.1, n: 200, ..WaxmanConfig::default() },
+            &WaxmanConfig {
+                beta: 0.1,
+                n: 200,
+                ..WaxmanConfig::default()
+            },
             &mut StdRng::seed_from_u64(3),
         );
         let dense = generate(
-            &WaxmanConfig { beta: 0.9, n: 200, ..WaxmanConfig::default() },
+            &WaxmanConfig {
+                beta: 0.9,
+                n: 200,
+                ..WaxmanConfig::default()
+            },
             &mut StdRng::seed_from_u64(3),
         );
         assert!(dense.edge_count() > 3 * sparse.edge_count());
@@ -104,7 +121,10 @@ mod tests {
     #[should_panic(expected = "alpha in (0,1]")]
     fn bad_alpha_rejected() {
         generate(
-            &WaxmanConfig { alpha: 0.0, ..WaxmanConfig::default() },
+            &WaxmanConfig {
+                alpha: 0.0,
+                ..WaxmanConfig::default()
+            },
             &mut StdRng::seed_from_u64(0),
         );
     }

@@ -16,7 +16,11 @@ fn bench_fkp(c: &mut Criterion) {
     let mut group = c.benchmark_group("fkp_grow");
     for n in [500usize, 2000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let config = FkpConfig { n, alpha: 10.0, ..FkpConfig::default() };
+            let config = FkpConfig {
+                n,
+                alpha: 10.0,
+                ..FkpConfig::default()
+            };
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(1);
                 black_box(grow(&config, &mut rng))
@@ -60,14 +64,20 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| black_box(ba::generate(1000, 2, &mut StdRng::seed_from_u64(4))))
     });
     group.bench_function("glp", |b| {
-        let cfg = glp::GlpConfig { n: 1000, ..glp::GlpConfig::default() };
+        let cfg = glp::GlpConfig {
+            n: 1000,
+            ..glp::GlpConfig::default()
+        };
         b.iter(|| black_box(glp::generate(&cfg, &mut StdRng::seed_from_u64(5))))
     });
     group.bench_function("plrg", |b| {
         b.iter(|| black_box(plrg::generate(1000, 2.2, 1, &mut StdRng::seed_from_u64(6))))
     });
     group.bench_function("waxman", |b| {
-        let cfg = waxman::WaxmanConfig { n: 1000, ..waxman::WaxmanConfig::default() };
+        let cfg = waxman::WaxmanConfig {
+            n: 1000,
+            ..waxman::WaxmanConfig::default()
+        };
         b.iter(|| black_box(waxman::generate(&cfg, &mut StdRng::seed_from_u64(7))))
     });
     group.finish();
@@ -78,18 +88,32 @@ fn bench_isp_and_plr(c: &mut Criterion) {
     group.sample_size(10);
     let (census, traffic) = hot_bench::standard_geography(30, 8);
     group.bench_function("isp_8pops_400cust", |b| {
-        let config = IspConfig { n_pops: 8, total_customers: 400, ..IspConfig::default() };
+        let config = IspConfig {
+            n_pops: 8,
+            total_customers: 400,
+            ..IspConfig::default()
+        };
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(9);
             black_box(generate(&census, &traffic, &config, &mut rng))
         });
     });
     group.bench_function("plr_200cells", |b| {
-        let config = PlrConfig { n_cells: 200, resolution: 100_000, ..PlrConfig::default() };
+        let config = PlrConfig {
+            n_cells: 200,
+            resolution: 100_000,
+            ..PlrConfig::default()
+        };
         b.iter(|| black_box(solve(&config)));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_fkp, bench_buyatbulk, bench_baselines, bench_isp_and_plr);
+criterion_group!(
+    benches,
+    bench_fkp,
+    bench_buyatbulk,
+    bench_baselines,
+    bench_isp_and_plr
+);
 criterion_main!(benches);

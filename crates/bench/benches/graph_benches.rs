@@ -39,7 +39,9 @@ fn bench_graph(c: &mut Criterion) {
         b.iter(|| black_box(dijkstra(&g, NodeId(0), |_, w| *w)))
     });
     group.bench_function("kruskal", |b| b.iter(|| black_box(kruskal(&g, |w| *w))));
-    group.bench_function("prim", |b| b.iter(|| black_box(prim(&g, NodeId(0), |w| *w))));
+    group.bench_function("prim", |b| {
+        b.iter(|| black_box(prim(&g, NodeId(0), |w| *w)))
+    });
     group.bench_function("coreness", |b| b.iter(|| black_box(coreness(&g))));
     group.bench_function("maxflow_corners", |b| {
         let t = NodeId((g.node_count() - 1) as u32);

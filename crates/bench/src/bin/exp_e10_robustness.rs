@@ -50,7 +50,11 @@ fn main() {
     // Build the test topologies.
     let fkp_graph = {
         let topo = grow(
-            &FkpConfig { n, alpha: 10.0, ..FkpConfig::default() },
+            &FkpConfig {
+                n,
+                alpha: 10.0,
+                ..FkpConfig::default()
+            },
             &mut StdRng::seed_from_u64(SEED),
         );
         topo.to_graph().map(|_, _| (), |_, _| ())
@@ -59,12 +63,23 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(SEED + 1);
         let cost = LinkCost::cables_only(CableCatalog::realistic_2003());
         let inst = Instance::random_uniform(n - 1, 15.0, cost, &mut rng);
-        mmp::solve(&inst, &mut rng).to_graph(&inst).map(|_, _| (), |_, _| ())
+        mmp::solve(&inst, &mut rng)
+            .to_graph(&inst)
+            .map(|_, _| (), |_, _| ())
     };
     let isp_graph = {
         let (census, traffic) = standard_geography(40, SEED + 2);
-        let config = IspConfig { n_pops: 10, total_customers: 800, ..IspConfig::default() };
-        let isp = generate(&census, &traffic, &config, &mut StdRng::seed_from_u64(SEED + 2));
+        let config = IspConfig {
+            n_pops: 10,
+            total_customers: 800,
+            ..IspConfig::default()
+        };
+        let isp = generate(
+            &census,
+            &traffic,
+            &config,
+            &mut StdRng::seed_from_u64(SEED + 2),
+        );
         isp.graph.map(|_, _| (), |_, _| ())
     };
     let ba_graph = ba::generate(n, 2, &mut StdRng::seed_from_u64(SEED + 3));
@@ -80,8 +95,14 @@ fn main() {
         ("ba(m=2)", &ba_graph),
         ("gnm(2n)", &gnm_graph),
     ] {
-        println!("{}", curve_row(name, g, RemovalPolicy::RandomFailure, &fractions));
-        println!("{}", curve_row(name, g, RemovalPolicy::DegreeAttack, &fractions));
+        println!(
+            "{}",
+            curve_row(name, g, RemovalPolicy::RandomFailure, &fractions)
+        );
+        println!(
+            "{}",
+            curve_row(name, g, RemovalPolicy::DegreeAttack, &fractions)
+        );
     }
     println!();
     println!(

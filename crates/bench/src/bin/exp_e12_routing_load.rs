@@ -22,10 +22,7 @@ use rand::SeedableRng;
 /// Customer-to-customer demands: a deterministic sample of pairs with
 /// unit traffic (the gravity structure is already inside the topology via
 /// its design; here we probe serving performance).
-fn customer_demands(
-    isp: &hot_core::isp::IspTopology,
-    pairs: usize,
-) -> Vec<Demand> {
+fn customer_demands(isp: &hot_core::isp::IspTopology, pairs: usize) -> Vec<Demand> {
     let customers: Vec<NodeId> = isp
         .graph
         .node_ids()
@@ -39,7 +36,11 @@ fn customer_demands(
         if a == b {
             b = (b + 1) % m;
         }
-        out.push(Demand { src: customers[a], dst: customers[b], amount: 1.0 });
+        out.push(Demand {
+            src: customers[a],
+            dst: customers[b],
+            amount: 1.0,
+        });
         a = (a + 1) % m;
         b = (b + stride) % m;
     }
@@ -54,7 +55,11 @@ fn main() {
          sized for it; redundancy converts stranded traffic into stretch",
     );
     let (census, traffic) = standard_geography(40, SEED);
-    let config = IspConfig { n_pops: 10, total_customers: 600, ..IspConfig::default() };
+    let config = IspConfig {
+        n_pops: 10,
+        total_customers: 600,
+        ..IspConfig::default()
+    };
     let isp = generate(&census, &traffic, &config, &mut StdRng::seed_from_u64(SEED));
     let demands = customer_demands(&isp, 2000);
     section("load on the designed ISP vs its degree-preserving surrogate");
@@ -105,21 +110,37 @@ fn main() {
     );
     for (name, redundancy) in [("tree (off)", false), ("mesh (on)", true)] {
         let cfg = IspConfig {
-            backbone: BackboneConfig { redundancy, shortcut_pairs: 0, ..Default::default() },
+            backbone: BackboneConfig {
+                redundancy,
+                shortcut_pairs: 0,
+                ..Default::default()
+            },
             n_pops: 10,
             total_customers: 0, // backbone-only study: POPs exchange traffic
             ..IspConfig::default()
         };
         // total_customers 0 is disallowed by per-metro max(1); use 10.
-        let cfg = IspConfig { total_customers: 10, ..cfg };
-        let bb_isp = generate(&census, &traffic, &cfg, &mut StdRng::seed_from_u64(SEED + 2));
+        let cfg = IspConfig {
+            total_customers: 10,
+            ..cfg
+        };
+        let bb_isp = generate(
+            &census,
+            &traffic,
+            &cfg,
+            &mut StdRng::seed_from_u64(SEED + 2),
+        );
         // Demands between POP routers with gravity weights.
         let mut demands = Vec::new();
         for (i, &ra) in bb_isp.pop_routers.iter().enumerate() {
             for (j, &rb) in bb_isp.pop_routers.iter().enumerate().skip(i + 1) {
                 let amount = traffic.demand(bb_isp.pop_cities[i], bb_isp.pop_cities[j]);
                 if amount > 0.0 {
-                    demands.push(Demand { src: ra, dst: rb, amount });
+                    demands.push(Demand {
+                        src: ra,
+                        dst: rb,
+                        amount,
+                    });
                 }
             }
         }

@@ -34,11 +34,17 @@ fn main() {
             tier1_count: tier1,
             transit_per_isp: transit,
             customers_per_pop: 6,
-            isp_template: IspConfig { ..IspConfig::default() },
+            isp_template: IspConfig {
+                ..IspConfig::default()
+            },
             ..InternetConfig::default()
         };
-        let net =
-            generate_internet(&census, &traffic, &config, &mut StdRng::seed_from_u64(SEED + 13));
+        let net = generate_internet(
+            &census,
+            &traffic,
+            &config,
+            &mut StdRng::seed_from_u64(SEED + 13),
+        );
         let asn = AsNetwork::from_internet(&net);
         let peers = net
             .peering
@@ -54,9 +60,15 @@ fn main() {
             transit_links
         );
         let stats = policy_inflation(&asn);
-        println!("policy reachability:        {}", fmt(stats.policy_reachability));
+        println!(
+            "policy reachability:        {}",
+            fmt(stats.policy_reachability)
+        );
         println!("mean path inflation:        {}", fmt(stats.mean_inflation));
-        println!("pairs strictly inflated:    {}", fmt(stats.inflated_fraction));
+        println!(
+            "pairs strictly inflated:    {}",
+            fmt(stats.inflated_fraction)
+        );
         println!("max inflation ratio:        {}", fmt(stats.max_inflation));
     }
     println!();

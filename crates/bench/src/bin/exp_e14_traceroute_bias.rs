@@ -72,10 +72,16 @@ fn main() {
     let isp = generate(
         &census,
         &traffic,
-        &IspConfig { n_pops: 8, total_customers: 400, ..IspConfig::default() },
+        &IspConfig {
+            n_pops: 8,
+            total_customers: 400,
+            ..IspConfig::default()
+        },
         &mut StdRng::seed_from_u64(SEED + 14),
     );
-    campaign("single ISP (tree-dominated)", &isp.graph, |l| l.length.max(1e-9));
+    campaign("single ISP (tree-dominated)", &isp.graph, |l| {
+        l.length.max(1e-9)
+    });
     // (b) The multi-ISP Internet: redundant backbones + peering diversity.
     let net = generate_internet(
         &census,
@@ -89,7 +95,9 @@ fn main() {
         &mut StdRng::seed_from_u64(SEED + 15),
     );
     let router_graph = net.combined_router_graph();
-    campaign("Internet router graph", &router_graph, |l| l.length.max(1e-9));
+    campaign("Internet router graph", &router_graph, |l| {
+        l.length.max(1e-9)
+    });
     // (c) A BA(m=3) mesh control with unit link weights.
     let mesh = ba::generate(1000, 3, &mut StdRng::seed_from_u64(SEED + 16));
     campaign("ba(m=3) mesh control", &mesh, |_| 1.0);

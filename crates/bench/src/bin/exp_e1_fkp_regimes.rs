@@ -30,7 +30,10 @@ fn main() {
         4.0 * sqrt_n,
         n as f64,
     ];
-    section(&format!("n = {} nodes, root at region center, 3 seeds each", n));
+    section(&format!(
+        "n = {} nodes, root at region center, 3 seeds each",
+        n
+    ));
     println!(
         "{:>10} {:>14} {:>8} {:>10} {:>8} {:>14}",
         "alpha", "class", "maxdeg", "rootshare", "height", "tail"
@@ -55,8 +58,7 @@ fn main() {
         let topo = first.expect("three seeds ran");
         let degs = topo.degree_sequence();
         let max_deg = degs.iter().copied().max().unwrap_or(0);
-        let root_share =
-            topo.tree.children(topo.tree.root()).len() as f64 / (n - 1) as f64;
+        let root_share = topo.tree.children(topo.tree.root()).len() as f64 / (n - 1) as f64;
         let class = classes[0];
         let tail = tail_classify(&degs).class;
         println!(

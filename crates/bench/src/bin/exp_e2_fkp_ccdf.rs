@@ -24,8 +24,12 @@ fn main() {
         (20.0, "near the crossover: hubs shrinking"),
         (5000.0, "distance regime"),
     ] {
-        let config =
-            FkpConfig { n, alpha, centrality: Centrality::HopsToRoot, ..FkpConfig::default() };
+        let config = FkpConfig {
+            n,
+            alpha,
+            centrality: Centrality::HopsToRoot,
+            ..FkpConfig::default()
+        };
         let topo = grow(&config, &mut StdRng::seed_from_u64(SEED));
         let degs = topo.degree_sequence();
         let verdict = classify(&degs);
@@ -35,10 +39,16 @@ fn main() {
             println!("{}\t{:.6}", k, p);
         }
         if let Some(f) = fit_ccdf(&degs) {
-            println!("power-law CCDF fit: exponent {:.2}, r2 {:.4}", f.exponent, f.r_squared);
+            println!(
+                "power-law CCDF fit: exponent {:.2}, r2 {:.4}",
+                f.exponent, f.r_squared
+            );
         }
         if let Some(f) = fit_exponential(&degs) {
-            println!("exponential CCDF fit: rate {:.3}, r2 {:.4}", f.exponent, f.r_squared);
+            println!(
+                "exponential CCDF fit: rate {:.3}, r2 {:.4}",
+                f.exponent, f.r_squared
+            );
         }
         println!("verdict: {}", verdict.class);
     }

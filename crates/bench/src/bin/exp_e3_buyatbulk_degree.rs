@@ -43,10 +43,16 @@ fn main() {
     }
     println!();
     if let Some(f) = fit_exponential(&all_degrees) {
-        println!("exponential CCDF fit: rate {:.3}, r2 {:.4}", f.exponent, f.r_squared);
+        println!(
+            "exponential CCDF fit: rate {:.3}, r2 {:.4}",
+            f.exponent, f.r_squared
+        );
     }
     if let Some(f) = fit_ccdf(&all_degrees) {
-        println!("power-law  CCDF fit: exponent {:.2}, r2 {:.4}", f.exponent, f.r_squared);
+        println!(
+            "power-law  CCDF fit: exponent {:.2}, r2 {:.4}",
+            f.exponent, f.r_squared
+        );
     }
     let verdict = classify(&all_degrees);
     println!("verdict: {} (paper predicts: exponential)", verdict.class);

@@ -103,5 +103,8 @@ fn main() {
     let adversarial = mmp::solve_in_order(&inst, &order).total_cost(&inst);
     let random = mmp::solve(&inst, &mut rng).total_cost(&inst);
     println!("far-first order cost: {}", fmt(adversarial));
-    println!("random order cost:    {} (random order is the MMP guarantee)", fmt(random));
+    println!(
+        "random order cost:    {} (random order is the MMP guarantee)",
+        fmt(random)
+    );
 }

@@ -42,10 +42,22 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(SEED);
     let designs = [
         ("hot-optimal", solve(&base)),
-        ("uniform-grid", solve(&PlrConfig { design: Design::UniformGrid, ..base.clone() })),
+        (
+            "uniform-grid",
+            solve(&PlrConfig {
+                design: Design::UniformGrid,
+                ..base.clone()
+            }),
+        ),
         (
             "random-breaks",
-            solve_with_rng(&PlrConfig { design: Design::RandomBreaks, ..base.clone() }, &mut rng),
+            solve_with_rng(
+                &PlrConfig {
+                    design: Design::RandomBreaks,
+                    ..base.clone()
+                },
+                &mut rng,
+            ),
         ),
     ];
     section("expected loss (the objective being optimized)");
@@ -57,7 +69,12 @@ fn main() {
         let mut sorted = losses.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let tail_ratio = sorted[sorted.len() * 99 / 100] / sorted[sorted.len() / 2];
-        println!("{:<14} {:>12} {:>14}", name, fmt(sol.expected_loss()), fmt(tail_ratio));
+        println!(
+            "{:<14} {:>12} {:>14}",
+            name,
+            fmt(sol.expected_loss()),
+            fmt(tail_ratio)
+        );
         samples.push((*name, losses));
     }
     for (name, losses) in &samples {

@@ -30,9 +30,23 @@ fn main() {
     // --- optimization-driven family ---
     {
         let mut rng = StdRng::seed_from_u64(SEED);
-        let topo = grow(&FkpConfig { n, alpha: 10.0, ..FkpConfig::default() }, &mut rng);
+        let topo = grow(
+            &FkpConfig {
+                n,
+                alpha: 10.0,
+                ..FkpConfig::default()
+            },
+            &mut rng,
+        );
         reports.push(MetricReport::compute("fkp(a=10)", &topo.to_graph()));
-        let topo = grow(&FkpConfig { n, alpha: 4000.0, ..FkpConfig::default() }, &mut rng);
+        let topo = grow(
+            &FkpConfig {
+                n,
+                alpha: 4000.0,
+                ..FkpConfig::default()
+            },
+            &mut rng,
+        );
         reports.push(MetricReport::compute("fkp(a=4000)", &topo.to_graph()));
     }
     {
@@ -45,23 +59,44 @@ fn main() {
     {
         let (census, traffic) = standard_geography(40, SEED + 2);
         let mut rng = StdRng::seed_from_u64(SEED + 2);
-        let config = IspConfig { n_pops: 10, total_customers: 800, ..IspConfig::default() };
+        let config = IspConfig {
+            n_pops: 10,
+            total_customers: 800,
+            ..IspConfig::default()
+        };
         let isp = generate(&census, &traffic, &config, &mut rng);
         reports.push(MetricReport::compute("isp(full)", &isp.graph));
     }
     // --- degree-based family ---
     {
         let mut rng = StdRng::seed_from_u64(SEED + 3);
-        reports.push(MetricReport::compute("ba(m=2)", &ba::generate(n, 2, &mut rng)));
-        let g = glp::generate(&glp::GlpConfig { n, ..glp::GlpConfig::default() }, &mut rng);
+        reports.push(MetricReport::compute(
+            "ba(m=2)",
+            &ba::generate(n, 2, &mut rng),
+        ));
+        let g = glp::generate(
+            &glp::GlpConfig {
+                n,
+                ..glp::GlpConfig::default()
+            },
+            &mut rng,
+        );
         reports.push(MetricReport::compute("glp", &g));
-        reports.push(MetricReport::compute("plrg(g=2.2)", &plrg::generate(n, 2.2, 1, &mut rng)));
+        reports.push(MetricReport::compute(
+            "plrg(g=2.2)",
+            &plrg::generate(n, 2.2, 1, &mut rng),
+        ));
     }
     // --- structural family ---
     {
         let mut rng = StdRng::seed_from_u64(SEED + 4);
         let g = waxman::generate(
-            &waxman::WaxmanConfig { n, alpha: 0.1, beta: 0.25, ..waxman::WaxmanConfig::default() },
+            &waxman::WaxmanConfig {
+                n,
+                alpha: 0.1,
+                beta: 0.25,
+                ..waxman::WaxmanConfig::default()
+            },
             &mut rng,
         );
         reports.push(MetricReport::compute("waxman", &g));
@@ -76,7 +111,13 @@ fn main() {
             &mut rng,
         );
         reports.push(MetricReport::compute("transit-stub", &ts));
-        let b = brite::generate(&brite::BriteConfig { n, ..brite::BriteConfig::default() }, &mut rng);
+        let b = brite::generate(
+            &brite::BriteConfig {
+                n,
+                ..brite::BriteConfig::default()
+            },
+            &mut rng,
+        );
         reports.push(MetricReport::compute("brite", &b));
     }
     // --- null model, edge-matched to BA(m=2) ---
@@ -92,10 +133,18 @@ fn main() {
         let isp_graph = &reports[3];
         debug_assert!(isp_graph.name.starts_with("isp"));
         let (census, traffic) = standard_geography(40, SEED + 2);
-        let config = IspConfig { n_pops: 10, total_customers: 800, ..IspConfig::default() };
-        let isp = generate(&census, &traffic, &config, &mut StdRng::seed_from_u64(SEED + 2));
-        let surrogate =
-            hot_metrics::surrogate::degree_surrogate(&isp.graph, 10, &mut rng);
+        let config = IspConfig {
+            n_pops: 10,
+            total_customers: 800,
+            ..IspConfig::default()
+        };
+        let isp = generate(
+            &census,
+            &traffic,
+            &config,
+            &mut StdRng::seed_from_u64(SEED + 2),
+        );
+        let surrogate = hot_metrics::surrogate::degree_surrogate(&isp.graph, 10, &mut rng);
         reports.push(MetricReport::compute("isp-surrogate", &surrogate));
     }
     section("metric matrix");

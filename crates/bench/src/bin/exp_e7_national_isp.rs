@@ -26,7 +26,11 @@ fn main() {
          fewer customers",
     );
     let (census, traffic) = standard_geography(60, SEED);
-    let base = IspConfig { n_pops: 12, total_customers: 1500, ..IspConfig::default() };
+    let base = IspConfig {
+        n_pops: 12,
+        total_customers: 1500,
+        ..IspConfig::default()
+    };
     let formulations = [
         ("cost-based", Formulation::CostBased),
         (
@@ -35,24 +39,41 @@ fn main() {
                 // Calibrated so the marginal metro customer is borderline:
                 // attaching a mean-demand customer at the mean scatter
                 // radius costs ≈ 25 km × (σ + δ·d) ≈ 300–400 $-units.
-                revenue: RevenueModel::PerUnitDemand { base: 250.0, per_unit: 15.0 },
+                revenue: RevenueModel::PerUnitDemand {
+                    base: 250.0,
+                    per_unit: 15.0,
+                },
             },
         ),
     ];
     for (name, formulation) in formulations {
-        let config = IspConfig { formulation, ..base.clone() };
+        let config = IspConfig {
+            formulation,
+            ..base.clone()
+        };
         let mut rng = StdRng::seed_from_u64(SEED + 7);
         let isp = generate(&census, &traffic, &config, &mut rng);
         section(&format!("{} ISP", name));
         println!("connected: {}", is_connected(&isp.graph));
         println!("routers: {} total", isp.graph.node_count());
-        for role in [RouterRole::Backbone, RouterRole::Distribution, RouterRole::Customer] {
+        for role in [
+            RouterRole::Backbone,
+            RouterRole::Distribution,
+            RouterRole::Customer,
+        ] {
             println!("  {:?}: {}", role, isp.count_role(role));
         }
-        println!("links: {} total, {} fiber-km", isp.graph.edge_count(), fmt(isp.total_length()));
-        for kind in
-            [LinkKind::Backbone, LinkKind::Metro, LinkKind::Access, LinkKind::Chassis]
-        {
+        println!(
+            "links: {} total, {} fiber-km",
+            isp.graph.edge_count(),
+            fmt(isp.total_length())
+        );
+        for kind in [
+            LinkKind::Backbone,
+            LinkKind::Metro,
+            LinkKind::Access,
+            LinkKind::Chassis,
+        ] {
             println!("  {:?}: {}", kind, isp.count_kind(kind));
         }
         println!("customers priced out: {}", isp.rejected_customers);

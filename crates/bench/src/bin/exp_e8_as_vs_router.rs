@@ -30,12 +30,27 @@ fn main() {
         transit_per_isp: 2,
         peer_cities: 2,
         customers_per_pop: 8,
-        isp_template: IspConfig { max_router_degree: 12, ..IspConfig::default() },
+        isp_template: IspConfig {
+            max_router_degree: 12,
+            ..IspConfig::default()
+        },
     };
-    let net = generate_internet(&census, &traffic, &config, &mut StdRng::seed_from_u64(SEED + 8));
-    section(&format!("{} ISPs generated over one shared census", config.n_isps));
+    let net = generate_internet(
+        &census,
+        &traffic,
+        &config,
+        &mut StdRng::seed_from_u64(SEED + 8),
+    );
+    section(&format!(
+        "{} ISPs generated over one shared census",
+        config.n_isps
+    ));
     let as_degrees = net.as_degrees();
-    println!("AS graph: {} nodes, {} adjacencies", as_degrees.len(), net.as_graph().edge_count());
+    println!(
+        "AS graph: {} nodes, {} adjacencies",
+        as_degrees.len(),
+        net.as_graph().edge_count()
+    );
     println!();
     println!("AS degree CCDF:");
     println!("k\tP[D>=k]");
@@ -43,10 +58,16 @@ fn main() {
         println!("{}\t{:.6}", k, p);
     }
     if let Some(f) = fit_ccdf(&as_degrees) {
-        println!("AS power-law CCDF fit: exponent {:.2}, r2 {:.4}", f.exponent, f.r_squared);
+        println!(
+            "AS power-law CCDF fit: exponent {:.2}, r2 {:.4}",
+            f.exponent, f.r_squared
+        );
     }
     if let Some(f) = fit_rank(&as_degrees) {
-        println!("AS rank fit (Faloutsos): exponent {:.2}, r2 {:.4}", f.exponent, f.r_squared);
+        println!(
+            "AS rank fit (Faloutsos): exponent {:.2}, r2 {:.4}",
+            f.exponent, f.r_squared
+        );
     }
     println!("AS tail verdict: {}", classify(&as_degrees).class);
     section("router-level (union of all ISPs + peering links, degree cap enforced)");

@@ -90,8 +90,16 @@ fn main() {
         .map(|_| BoundingBox::square(1000.0).sample_uniform(&mut rng))
         .collect();
     let demand = |_: usize, _: usize| 1.0;
-    let tree_cfg = BackboneConfig { redundancy: false, shortcut_pairs: 0, ..Default::default() };
-    let ring_cfg = BackboneConfig { redundancy: true, shortcut_pairs: 0, ..Default::default() };
+    let tree_cfg = BackboneConfig {
+        redundancy: false,
+        shortcut_pairs: 0,
+        ..Default::default()
+    };
+    let ring_cfg = BackboneConfig {
+        redundancy: true,
+        shortcut_pairs: 0,
+        ..Default::default()
+    };
     let tree = design(&pops, demand, &tree_cfg);
     let ring = design(&pops, demand, &ring_cfg);
     let graph_of = |edges: &[(usize, usize)]| {
@@ -126,14 +134,23 @@ fn main() {
         "{:>16} {:>8} {:>12} {:>8} {:>8}",
         "centrality", "alpha", "class", "maxdeg", "height"
     );
-    for centrality in [Centrality::HopsToRoot, Centrality::TreeDistToRoot, Centrality::None] {
+    for centrality in [
+        Centrality::HopsToRoot,
+        Centrality::TreeDistToRoot,
+        Centrality::None,
+    ] {
         // The trade-off window's location depends on the centrality's
         // units: hop counts grow ~1 per level while tree distance grows
         // ~0.3–0.7 region units, so the same alpha weighs distance much
         // more heavily under TreeDistToRoot. Sweep two alphas per
         // centrality to locate the window rather than fixing one.
         for alpha in [1.0, 1.2, 3.0, 8.0] {
-            let config = FkpConfig { n: 4000, alpha, centrality, ..FkpConfig::default() };
+            let config = FkpConfig {
+                n: 4000,
+                alpha,
+                centrality,
+                ..FkpConfig::default()
+            };
             let topo = grow(&config, &mut StdRng::seed_from_u64(SEED + 90));
             let degs = topo.degree_sequence();
             println!(

@@ -26,7 +26,10 @@ pub const SEED: u64 = 20030617; // HotNets-II camera-ready era
 /// matrix.
 pub fn standard_geography(n_cities: usize, seed: u64) -> (Census, TrafficMatrix) {
     let census = Census::synthesize(
-        &CensusConfig { n_cities, ..CensusConfig::default() },
+        &CensusConfig {
+            n_cities,
+            ..CensusConfig::default()
+        },
         &mut StdRng::seed_from_u64(seed),
     );
     let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());

@@ -69,7 +69,11 @@ impl FacilityInstance {
 pub fn solve(instance: &FacilityInstance, swap_passes: usize) -> FacilitySolution {
     let n_sites = instance.sites.len();
     assert!(n_sites > 0, "need at least one candidate site");
-    assert_eq!(instance.customers.len(), instance.demands.len(), "customers/demands mismatch");
+    assert_eq!(
+        instance.customers.len(),
+        instance.demands.len(),
+        "customers/demands mismatch"
+    );
     // Greedy: start from the single best site, then add sites while the
     // net saving is positive.
     let first = (0..n_sites)
@@ -125,7 +129,11 @@ pub fn solve(instance: &FacilityInstance, swap_passes: usize) -> FacilitySolutio
     }
     open.sort_unstable();
     let (total_cost, assignment) = instance.evaluate(&open);
-    FacilitySolution { open, assignment, total_cost }
+    FacilitySolution {
+        open,
+        assignment,
+        total_cost,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +151,11 @@ mod tests {
             customers.push(Point::new(10.0 + 0.01 * i as f64, 0.0));
         }
         FacilityInstance {
-            sites: vec![Point::new(0.02, 0.0), Point::new(10.02, 0.0), Point::new(5.0, 50.0)],
+            sites: vec![
+                Point::new(0.02, 0.0),
+                Point::new(10.02, 0.0),
+                Point::new(5.0, 50.0),
+            ],
             demands: vec![1.0; customers.len()],
             customers,
             opening_cost: 1.0,

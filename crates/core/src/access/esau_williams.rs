@@ -59,7 +59,10 @@ impl CmstSolution {
             let r = find_root(v, &self.parent, &mut root);
             by_root[r] += instance.demands[v];
         }
-        (0..n).filter(|&v| self.parent[v].is_none()).map(|v| (v, by_root[v])).collect()
+        (0..n)
+            .filter(|&v| self.parent[v].is_none())
+            .map(|v| (v, by_root[v]))
+            .collect()
     }
 
     /// Undirected degree of each node; index `n` is the center.
@@ -91,9 +94,17 @@ impl CmstSolution {
 /// solution exists).
 pub fn solve(instance: &CmstInstance) -> CmstSolution {
     let n = instance.terminals.len();
-    assert_eq!(n, instance.demands.len(), "terminals and demands must align");
+    assert_eq!(
+        n,
+        instance.demands.len(),
+        "terminals and demands must align"
+    );
     for (i, &d) in instance.demands.iter().enumerate() {
-        assert!(d > 0.0 && d.is_finite(), "terminal {} has invalid demand", i);
+        assert!(
+            d > 0.0 && d.is_finite(),
+            "terminal {} has invalid demand",
+            i
+        );
         assert!(
             d <= instance.capacity,
             "terminal {} demand {} exceeds subtree capacity {}",
@@ -102,8 +113,11 @@ pub fn solve(instance: &CmstInstance) -> CmstSolution {
             instance.capacity
         );
     }
-    let center_dist: Vec<f64> =
-        instance.terminals.iter().map(|t| t.dist(&instance.center)).collect();
+    let center_dist: Vec<f64> = instance
+        .terminals
+        .iter()
+        .map(|t| t.dist(&instance.center))
+        .collect();
     let mut parent: Vec<Option<usize>> = vec![None; n];
     let mut uf = UnionFind::new(n);
     // Demand and center-link length per component root (indexed by the
@@ -136,7 +150,8 @@ pub fn solve(instance: &CmstInstance) -> CmstSolution {
                 if comp_demand[ci] + comp_demand[cj] > instance.capacity {
                     continue;
                 }
-                let saving = comp_center_link[ci] - instance.terminals[i].dist(&instance.terminals[j]);
+                let saving =
+                    comp_center_link[ci] - instance.terminals[i].dist(&instance.terminals[j]);
                 if saving > 1e-12 && best.map_or(true, |(_, _, s)| saving > s) {
                     best = Some((i, j, saving));
                 }
@@ -166,7 +181,10 @@ pub fn solve(instance: &CmstInstance) -> CmstSolution {
             Some(u) => instance.terminals[v].dist(&instance.terminals[u]),
         };
     }
-    CmstSolution { parent, total_length: total }
+    CmstSolution {
+        parent,
+        total_length: total,
+    }
 }
 
 /// Reverses parent pointers so `v` becomes the component's root

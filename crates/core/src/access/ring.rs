@@ -38,7 +38,10 @@ pub fn design_ring(center: Point, terminals: &[Point], max_rounds: usize) -> Rin
     let n = terminals.len();
     let pt = |i: usize| if i == n { center } else { terminals[i] };
     if n == 0 {
-        return RingSolution { order: vec![n], total_length: 0.0 };
+        return RingSolution {
+            order: vec![n],
+            total_length: 0.0,
+        };
     }
     // Nearest-neighbor tour from the center.
     let mut order = Vec::with_capacity(n + 1);
@@ -50,7 +53,10 @@ pub fn design_ring(center: Point, terminals: &[Point], max_rounds: usize) -> Rin
         let next = (0..n)
             .filter(|&i| !used[i])
             .min_by(|&a, &b| {
-                pt(cur).dist(&pt(a)).partial_cmp(&pt(cur).dist(&pt(b))).expect("no NaN")
+                pt(cur)
+                    .dist(&pt(a))
+                    .partial_cmp(&pt(cur).dist(&pt(b)))
+                    .expect("no NaN")
             })
             .expect("unvisited terminal exists");
         order.push(next);
@@ -85,7 +91,10 @@ pub fn design_ring(center: Point, terminals: &[Point], max_rounds: usize) -> Rin
         }
     }
     let total_length = cycle_length(&order, &pt);
-    RingSolution { order, total_length }
+    RingSolution {
+        order,
+        total_length,
+    }
 }
 
 fn cycle_length(order: &[usize], pt: &impl Fn(usize) -> Point) -> f64 {
@@ -138,7 +147,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn square_terminals() -> Vec<Point> {
-        vec![Point::new(1.0, 0.0), Point::new(1.0, 1.0), Point::new(0.0, 1.0)]
+        vec![
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ]
     }
 
     #[test]
@@ -146,7 +159,11 @@ mod tests {
         // Center at origin + three corners of the unit square: the optimal
         // cycle is the perimeter, length 4.
         let sol = design_ring(Point::new(0.0, 0.0), &square_terminals(), 10);
-        assert!((sol.total_length - 4.0).abs() < 1e-9, "length {}", sol.total_length);
+        assert!(
+            (sol.total_length - 4.0).abs() < 1e-9,
+            "length {}",
+            sol.total_length
+        );
         assert_eq!(sol.order.len(), 4);
         assert_eq!(sol.order[0], 3); // center first
     }
@@ -158,7 +175,10 @@ mod tests {
         let g = sol.to_graph(Point::new(0.0, 0.0), &terminals);
         assert!(is_connected(&g));
         assert!(g.degree_sequence().iter().all(|&d| d == 2));
-        assert!(is_k_edge_connected(&g, 2), "SONET ring must survive one cut");
+        assert!(
+            is_k_edge_connected(&g, 2),
+            "SONET ring must survive one cut"
+        );
     }
 
     #[test]
@@ -207,6 +227,11 @@ mod tests {
             demands: vec![1.0; 30],
             capacity: 1e9,
         });
-        assert!(ring.total_length > tree.total_length, "ring {} vs tree {}", ring.total_length, tree.total_length);
+        assert!(
+            ring.total_length > tree.total_length,
+            "ring {} vs tree {}",
+            ring.total_length,
+            tree.total_length
+        );
     }
 }

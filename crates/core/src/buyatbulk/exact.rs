@@ -38,7 +38,11 @@ pub fn solve(instance: &Instance) -> (AccessNetwork, f64) {
     }
     // Precompute pairwise lengths and per-node demands.
     let lengths: Vec<Vec<f64>> = (0..m)
-        .map(|a| (0..m).map(|b| instance.node_point(a).dist(&instance.node_point(b))).collect())
+        .map(|a| {
+            (0..m)
+                .map(|b| instance.node_point(a).dist(&instance.node_point(b)))
+                .collect()
+        })
         .collect();
     let demands: Vec<f64> = (0..m).map(|v| instance.node_demand(v)).collect();
     let seq_len = m - 2;
@@ -50,9 +54,7 @@ pub fn solve(instance: &Instance) -> (AccessNetwork, f64) {
     let mut edges: Vec<(usize, usize)> = Vec::with_capacity(m - 1);
     loop {
         decode_prufer(&prufer, &mut degree, &mut edges);
-        if let Some(cost) =
-            tree_cost(&edges, &lengths, &demands, instance, best_cost)
-        {
+        if let Some(cost) = tree_cost(&edges, &lengths, &demands, instance, best_cost) {
             if cost < best_cost {
                 best_cost = cost;
                 best_parents = Some(parents_from_edges(&edges, m));
@@ -204,14 +206,28 @@ mod tests {
         let inst = Instance::new(
             Point::new(0.0, 0.0),
             vec![
-                Customer { location: Point::new(1.0, 0.0), demand: 10.0 },
-                Customer { location: Point::new(2.0, 0.0), demand: 10.0 },
-                Customer { location: Point::new(3.0, 0.0), demand: 10.0 },
+                Customer {
+                    location: Point::new(1.0, 0.0),
+                    demand: 10.0,
+                },
+                Customer {
+                    location: Point::new(2.0, 0.0),
+                    demand: 10.0,
+                },
+                Customer {
+                    location: Point::new(3.0, 0.0),
+                    demand: 10.0,
+                },
             ],
             LinkCost::cables_only(CableCatalog::single(1000.0, 100.0, 0.01)),
         );
         let (sol, c) = solve(&inst);
-        let p = |v: usize| sol.tree.parent(hot_graph::graph::NodeId(v as u32)).unwrap().index();
+        let p = |v: usize| {
+            sol.tree
+                .parent(hot_graph::graph::NodeId(v as u32))
+                .unwrap()
+                .index()
+        };
         assert_eq!((p(1), p(2), p(3)), (0, 1, 2));
         // Chain cost: 3 edges of length 1, flows 30, 20, 10:
         // 100.3 + 100.2 + 100.1 = 300.6.
@@ -254,7 +270,11 @@ mod tests {
             }
             assert!(out.final_cost >= opt_cost - 1e-9);
         }
-        assert!(hits >= 5, "local search matched the optimum only {}/8 times", hits);
+        assert!(
+            hits >= 5,
+            "local search matched the optimum only {}/8 times",
+            hits
+        );
     }
 
     #[test]
@@ -266,7 +286,10 @@ mod tests {
 
         let inst1 = Instance::new(
             Point::new(0.0, 0.0),
-            vec![Customer { location: Point::new(1.0, 0.0), demand: 5.0 }],
+            vec![Customer {
+                location: Point::new(1.0, 0.0),
+                demand: 5.0,
+            }],
             cost(),
         );
         let (s1, c1) = solve(&inst1);
@@ -308,9 +331,18 @@ mod tests {
         let inst = Instance::new(
             Point::new(0.0, 0.0),
             vec![
-                Customer { location: Point::new(1.0, 0.0), demand: 1.0 },
-                Customer { location: Point::new(0.0, 1.0), demand: 1.0 },
-                Customer { location: Point::new(-1.0, 0.0), demand: 1.0 },
+                Customer {
+                    location: Point::new(1.0, 0.0),
+                    demand: 1.0,
+                },
+                Customer {
+                    location: Point::new(0.0, 1.0),
+                    demand: 1.0,
+                },
+                Customer {
+                    location: Point::new(-1.0, 0.0),
+                    demand: 1.0,
+                },
             ],
             cost(),
         );

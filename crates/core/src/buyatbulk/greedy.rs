@@ -77,7 +77,11 @@ pub fn improve(instance: &Instance, start: &AccessNetwork, max_moves: usize) -> 
     // Mutable tree state as a parent array.
     let mut parent = vec![0usize; m];
     for v in 1..m {
-        parent[v] = start.tree.parent(NodeId(v as u32)).expect("non-root").index();
+        parent[v] = start
+            .tree
+            .parent(NodeId(v as u32))
+            .expect("non-root")
+            .index();
     }
     // Uplink flows per node (index 0 = total demand, unused).
     let mut flow = {
@@ -86,8 +90,7 @@ pub fn improve(instance: &Instance, start: &AccessNetwork, max_moves: usize) -> 
         f
     };
     let length = |a: usize, b: usize| instance.node_point(a).dist(&instance.node_point(b));
-    let edge_cost =
-        |a: usize, b: usize, x: f64| instance.cost.cost(length(a, b), x);
+    let edge_cost = |a: usize, b: usize, x: f64| instance.cost.cost(length(a, b), x);
     let mut moves = 0;
     let mut current_cost = initial_cost;
     while moves < max_moves {
@@ -100,9 +103,7 @@ pub fn improve(instance: &Instance, start: &AccessNetwork, max_moves: usize) -> 
                 if u == v || u == old_p || in_subtree(&parent, u, v) {
                     continue;
                 }
-                let delta = move_delta(
-                    &parent, &flow, &depth, v, old_p, u, moved_flow, &edge_cost,
-                );
+                let delta = move_delta(&parent, &flow, &depth, v, old_p, u, moved_flow, &edge_cost);
                 if delta < -1e-9 && best.map_or(true, |(_, _, d)| delta < d) {
                     best = Some((v, u, delta));
                 }
@@ -118,7 +119,9 @@ pub fn improve(instance: &Instance, start: &AccessNetwork, max_moves: usize) -> 
         moves += 1;
     }
     let solution = AccessNetwork::from_parents(&parent);
-    debug_assert!((solution.total_cost(instance) - current_cost).abs() < 1e-6 * (1.0 + current_cost.abs()));
+    debug_assert!(
+        (solution.total_cost(instance) - current_cost).abs() < 1e-6 * (1.0 + current_cost.abs())
+    );
     ImproveOutcome {
         final_cost: solution.total_cost(instance),
         solution,
@@ -286,9 +289,18 @@ mod tests {
         let inst = Instance::new(
             Point::new(0.0, 0.0),
             vec![
-                Customer { location: Point::new(1.0, 0.0), demand: 10.0 },
-                Customer { location: Point::new(2.0, 0.0), demand: 10.0 },
-                Customer { location: Point::new(3.0, 0.0), demand: 10.0 },
+                Customer {
+                    location: Point::new(1.0, 0.0),
+                    demand: 10.0,
+                },
+                Customer {
+                    location: Point::new(2.0, 0.0),
+                    demand: 10.0,
+                },
+                Customer {
+                    location: Point::new(3.0, 0.0),
+                    demand: 10.0,
+                },
             ],
             LinkCost::cables_only(CableCatalog::single(1000.0, 100.0, 0.01)),
         );

@@ -42,7 +42,11 @@ pub fn solve(instance: &Instance, rng: &mut impl Rng) -> AccessNetwork {
 /// control the permutation.
 pub fn solve_in_order(instance: &Instance, order: &[usize]) -> AccessNetwork {
     let n = instance.n_customers();
-    assert_eq!(order.len(), n, "order must mention every customer exactly once");
+    assert_eq!(
+        order.len(),
+        n,
+        "order must mention every customer exactly once"
+    );
     let mut parents = vec![0usize; n + 1];
     let mut connected: Vec<usize> = Vec::with_capacity(n + 1);
     connected.push(0); // the sink
@@ -96,16 +100,43 @@ mod tests {
         let inst = Instance::new(
             Point::new(0.0, 0.0),
             vec![
-                Customer { location: Point::new(1.0, 0.0), demand: 1.0 },
-                Customer { location: Point::new(2.0, 0.0), demand: 1.0 },
-                Customer { location: Point::new(3.0, 0.0), demand: 1.0 },
+                Customer {
+                    location: Point::new(1.0, 0.0),
+                    demand: 1.0,
+                },
+                Customer {
+                    location: Point::new(2.0, 0.0),
+                    demand: 1.0,
+                },
+                Customer {
+                    location: Point::new(3.0, 0.0),
+                    demand: 1.0,
+                },
             ],
             cost(),
         );
         let sol = solve_in_order(&inst, &[1, 2, 3]);
-        assert_eq!(sol.tree.parent(hot_graph::graph::NodeId(1)).unwrap().index(), 0);
-        assert_eq!(sol.tree.parent(hot_graph::graph::NodeId(2)).unwrap().index(), 1);
-        assert_eq!(sol.tree.parent(hot_graph::graph::NodeId(3)).unwrap().index(), 2);
+        assert_eq!(
+            sol.tree
+                .parent(hot_graph::graph::NodeId(1))
+                .unwrap()
+                .index(),
+            0
+        );
+        assert_eq!(
+            sol.tree
+                .parent(hot_graph::graph::NodeId(2))
+                .unwrap()
+                .index(),
+            1
+        );
+        assert_eq!(
+            sol.tree
+                .parent(hot_graph::graph::NodeId(3))
+                .unwrap()
+                .index(),
+            2
+        );
     }
 
     #[test]
@@ -113,19 +144,39 @@ mod tests {
         let inst = Instance::new(
             Point::new(0.0, 0.0),
             vec![
-                Customer { location: Point::new(1.0, 0.0), demand: 1.0 },
-                Customer { location: Point::new(2.0, 0.0), demand: 1.0 },
+                Customer {
+                    location: Point::new(1.0, 0.0),
+                    demand: 1.0,
+                },
+                Customer {
+                    location: Point::new(2.0, 0.0),
+                    demand: 1.0,
+                },
             ],
             cost(),
         );
         // Far customer first: both attach to what's nearest at the time.
         let far_first = solve_in_order(&inst, &[2, 1]);
         // Node 2 had only the sink available.
-        assert_eq!(far_first.tree.parent(hot_graph::graph::NodeId(2)).unwrap().index(), 0);
+        assert_eq!(
+            far_first
+                .tree
+                .parent(hot_graph::graph::NodeId(2))
+                .unwrap()
+                .index(),
+            0
+        );
         // Node 1 then picks node 2? dist(1,2)=1 = dist(1,sink)=1; min_by
         // keeps the first minimum which is the sink (index order).
         let near_first = solve_in_order(&inst, &[1, 2]);
-        assert_eq!(near_first.tree.parent(hot_graph::graph::NodeId(2)).unwrap().index(), 1);
+        assert_eq!(
+            near_first
+                .tree
+                .parent(hot_graph::graph::NodeId(2))
+                .unwrap()
+                .index(),
+            1
+        );
     }
 
     #[test]
@@ -143,7 +194,11 @@ mod tests {
                 mmp_wins += 1;
             }
         }
-        assert!(mmp_wins >= 8, "MMP beat the star only {}/10 times", mmp_wins);
+        assert!(
+            mmp_wins >= 8,
+            "MMP beat the star only {}/10 times",
+            mmp_wins
+        );
     }
 
     #[test]
@@ -160,7 +215,10 @@ mod tests {
     fn bad_order_rejected() {
         let inst = Instance::new(
             Point::new(0.0, 0.0),
-            vec![Customer { location: Point::new(1.0, 0.0), demand: 1.0 }],
+            vec![Customer {
+                location: Point::new(1.0, 0.0),
+                demand: 1.0,
+            }],
             cost(),
         );
         solve_in_order(&inst, &[]);

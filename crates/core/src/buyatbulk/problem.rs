@@ -39,7 +39,11 @@ impl Instance {
                 c.demand
             );
         }
-        Instance { sink, customers, cost }
+        Instance {
+            sink,
+            customers,
+            cost,
+        }
     }
 
     /// Random instance: customers uniform in the unit square around a
@@ -47,7 +51,10 @@ impl Instance {
     pub fn random_uniform(n: usize, demand: f64, cost: LinkCost, rng: &mut impl Rng) -> Self {
         let region = hot_geo::bbox::BoundingBox::unit();
         let customers = (0..n)
-            .map(|_| Customer { location: region.sample_uniform(rng), demand })
+            .map(|_| Customer {
+                location: region.sample_uniform(rng),
+                demand,
+            })
             .collect();
         Instance::new(region.center(), customers, cost)
     }
@@ -133,8 +140,9 @@ impl AccessNetwork {
     /// is the total demand, as a convenient by-product.
     pub fn uplink_flows(&self, instance: &Instance) -> Vec<f64> {
         let order = self.tree.bfs_order();
-        let mut flow: Vec<f64> =
-            (0..self.tree.len()).map(|v| instance.node_demand(v)).collect();
+        let mut flow: Vec<f64> = (0..self.tree.len())
+            .map(|v| instance.node_demand(v))
+            .collect();
         for &v in order.iter().rev() {
             if let Some(p) = self.tree.parent(v) {
                 flow[p.index()] += flow[v.index()];
@@ -148,7 +156,11 @@ impl AccessNetwork {
         let flows = self.uplink_flows(instance);
         let mut total = 0.0;
         for v in 1..self.tree.len() {
-            let p = self.tree.parent(NodeId(v as u32)).expect("non-root").index();
+            let p = self
+                .tree
+                .parent(NodeId(v as u32))
+                .expect("non-root")
+                .index();
             let length = instance.node_point(v).dist(&instance.node_point(p));
             total += instance.cost.cost(length, flows[v]);
         }
@@ -178,7 +190,9 @@ impl AccessNetwork {
     /// Materializes as a graph with edge weights = Euclidean length.
     pub fn to_graph(&self, instance: &Instance) -> Graph<(), f64> {
         self.tree.to_graph(|child, parent| {
-            instance.node_point(child.index()).dist(&instance.node_point(parent.index()))
+            instance
+                .node_point(child.index())
+                .dist(&instance.node_point(parent.index()))
         })
     }
 }
@@ -200,8 +214,14 @@ mod tests {
         Instance::new(
             Point::new(0.0, 0.0),
             vec![
-                Customer { location: Point::new(1.0, 0.0), demand: 5.0 },
-                Customer { location: Point::new(2.0, 0.0), demand: 7.0 },
+                Customer {
+                    location: Point::new(1.0, 0.0),
+                    demand: 5.0,
+                },
+                Customer {
+                    location: Point::new(2.0, 0.0),
+                    demand: 7.0,
+                },
             ],
             cost(),
         )
@@ -225,7 +245,7 @@ mod tests {
         assert!((flows[2] - 7.0).abs() < 1e-12);
         assert!((flows[1] - 12.0).abs() < 1e-12);
         assert!((flows[0] - 12.0).abs() < 1e-12); // total demand
-        // Edge 2->1: len 1, flow 7 -> 17. Edge 1->0: len 1, flow 12 -> 22.
+                                                  // Edge 2->1: len 1, flow 7 -> 17. Edge 1->0: len 1, flow 12 -> 22.
         assert!((sol.total_cost(&inst) - 39.0).abs() < 1e-9);
     }
 
@@ -258,7 +278,10 @@ mod tests {
     fn bad_demand_rejected() {
         Instance::new(
             Point::new(0.0, 0.0),
-            vec![Customer { location: Point::new(1.0, 0.0), demand: 0.0 }],
+            vec![Customer {
+                location: Point::new(1.0, 0.0),
+                demand: 0.0,
+            }],
             cost(),
         );
     }

@@ -49,7 +49,11 @@ pub fn build_report(instance: &Instance, solution: &AccessNetwork) -> BuildRepor
     let mut cable_km = vec![0.0; n_types];
     let mut total_length = 0.0;
     for v in 1..solution.len() {
-        let p = solution.tree.parent(NodeId(v as u32)).expect("non-root").index();
+        let p = solution
+            .tree
+            .parent(NodeId(v as u32))
+            .expect("non-root")
+            .index();
         let length = instance.node_point(v).dist(&instance.node_point(p));
         let (cable_type, instances) = instance.cost.cable_choice(flows[v]);
         let capacity = instance.cost.catalog.types()[cable_type].capacity * instances as f64;
@@ -59,7 +63,11 @@ pub fn build_report(instance: &Instance, solution: &AccessNetwork) -> BuildRepor
             flow: flows[v],
             cable_type,
             instances,
-            utilization: if capacity > 0.0 { flows[v] / capacity } else { 0.0 },
+            utilization: if capacity > 0.0 {
+                flows[v] / capacity
+            } else {
+                0.0
+            },
         });
         cable_km[cable_type] += instances as f64 * length;
         total_length += length;
@@ -67,9 +75,7 @@ pub fn build_report(instance: &Instance, solution: &AccessNetwork) -> BuildRepor
     let total_demand: f64 = instance.total_demand();
     let mean_hops = if total_demand > 0.0 {
         (1..solution.len())
-            .map(|v| {
-                instance.node_demand(v) * solution.tree.depth(NodeId(v as u32)) as f64
-            })
+            .map(|v| instance.node_demand(v) * solution.tree.depth(NodeId(v as u32)) as f64)
             .sum::<f64>()
             / total_demand
     } else {
@@ -96,8 +102,14 @@ mod tests {
         Instance::new(
             Point::new(0.0, 0.0),
             vec![
-                Customer { location: Point::new(1.0, 0.0), demand: 30.0 },
-                Customer { location: Point::new(2.0, 0.0), demand: 40.0 },
+                Customer {
+                    location: Point::new(1.0, 0.0),
+                    demand: 30.0,
+                },
+                Customer {
+                    location: Point::new(2.0, 0.0),
+                    demand: 40.0,
+                },
             ],
             LinkCost::cables_only(CableCatalog::single(100.0, 10.0, 1.0)),
         )
@@ -136,7 +148,10 @@ mod tests {
     fn utilization_with_multiple_instances() {
         let inst = Instance::new(
             Point::new(0.0, 0.0),
-            vec![Customer { location: Point::new(1.0, 0.0), demand: 150.0 }],
+            vec![Customer {
+                location: Point::new(1.0, 0.0),
+                demand: 150.0,
+            }],
             LinkCost::cables_only(CableCatalog::single(100.0, 10.0, 1.0)),
         );
         let sol = AccessNetwork::star(1);

@@ -84,7 +84,8 @@ impl FkpTopology {
     /// lengths.
     pub fn to_graph(&self) -> Graph<(), f64> {
         let pts = &self.points;
-        self.tree.to_graph(|child, parent| pts[child.index()].dist(&pts[parent.index()]))
+        self.tree
+            .to_graph(|child, parent| pts[child.index()].dist(&pts[parent.index()]))
     }
 
     /// Undirected degree sequence.
@@ -132,7 +133,11 @@ pub fn grow(config: &FkpConfig, rng: &mut impl Rng) -> FkpTopology {
         let mut best_val = f64::INFINITY;
         for (j, q) in points.iter().enumerate() {
             let val = config.alpha * p.dist(q)
-                + if config.centrality == Centrality::None { 0.0 } else { centrality[j] };
+                + if config.centrality == Centrality::None {
+                    0.0
+                } else {
+                    centrality[j]
+                };
             if val < best_val {
                 best_val = val;
                 best_j = j;
@@ -149,7 +154,11 @@ pub fn grow(config: &FkpConfig, rng: &mut impl Rng) -> FkpTopology {
         centrality.push(h);
         points.push(p);
     }
-    FkpTopology { tree, points, alpha: config.alpha }
+    FkpTopology {
+        tree,
+        points,
+        alpha: config.alpha,
+    }
 }
 
 /// Coarse classification of an FKP outcome, used by experiment E1.
@@ -195,7 +204,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn run(n: usize, alpha: f64, seed: u64) -> FkpTopology {
-        let config = FkpConfig { n, alpha, ..FkpConfig::default() };
+        let config = FkpConfig {
+            n,
+            alpha,
+            ..FkpConfig::default()
+        };
         grow(&config, &mut StdRng::seed_from_u64(seed))
     }
 
@@ -223,7 +236,11 @@ mod tests {
         let t = run(400, 10_000.0, 3);
         assert_eq!(classify(&t), TopologyClass::DistanceTree);
         let max_deg = t.degree_sequence().into_iter().max().unwrap();
-        assert!(max_deg < 20, "distance regime grew a hub of degree {}", max_deg);
+        assert!(
+            max_deg < 20,
+            "distance regime grew a hub of degree {}",
+            max_deg
+        );
     }
 
     #[test]
@@ -245,10 +262,23 @@ mod tests {
 
     #[test]
     fn centrality_variants_all_grow_trees() {
-        for centrality in [Centrality::HopsToRoot, Centrality::TreeDistToRoot, Centrality::None] {
-            let config = FkpConfig { n: 150, alpha: 3.0, centrality, ..FkpConfig::default() };
+        for centrality in [
+            Centrality::HopsToRoot,
+            Centrality::TreeDistToRoot,
+            Centrality::None,
+        ] {
+            let config = FkpConfig {
+                n: 150,
+                alpha: 3.0,
+                centrality,
+                ..FkpConfig::default()
+            };
             let t = grow(&config, &mut StdRng::seed_from_u64(5));
-            assert!(is_tree(&t.to_graph()), "{:?} did not grow a tree", centrality);
+            assert!(
+                is_tree(&t.to_graph()),
+                "{:?} did not grow a tree",
+                centrality
+            );
         }
     }
 
@@ -256,8 +286,18 @@ mod tests {
     fn none_centrality_is_nearest_neighbor() {
         // With no centrality term, each node attaches to its Euclidean
         // nearest predecessor regardless of alpha.
-        let c1 = FkpConfig { n: 80, alpha: 1.0, centrality: Centrality::None, ..Default::default() };
-        let c2 = FkpConfig { n: 80, alpha: 77.0, centrality: Centrality::None, ..Default::default() };
+        let c1 = FkpConfig {
+            n: 80,
+            alpha: 1.0,
+            centrality: Centrality::None,
+            ..Default::default()
+        };
+        let c2 = FkpConfig {
+            n: 80,
+            alpha: 77.0,
+            centrality: Centrality::None,
+            ..Default::default()
+        };
         let t1 = grow(&c1, &mut StdRng::seed_from_u64(6));
         let t2 = grow(&c2, &mut StdRng::seed_from_u64(6));
         assert_eq!(t1.degree_sequence(), t2.degree_sequence());
@@ -275,7 +315,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least the root")]
     fn zero_nodes_rejected() {
-        let config = FkpConfig { n: 0, ..FkpConfig::default() };
+        let config = FkpConfig {
+            n: 0,
+            ..FkpConfig::default()
+        };
         grow(&config, &mut StdRng::seed_from_u64(0));
     }
 

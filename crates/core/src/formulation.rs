@@ -56,9 +56,21 @@ mod tests {
 
     fn candidates() -> Vec<PricedCustomer> {
         vec![
-            PricedCustomer { customer: 0, revenue: 10.0, incremental_cost: 5.0 },
-            PricedCustomer { customer: 1, revenue: 10.0, incremental_cost: 50.0 },
-            PricedCustomer { customer: 2, revenue: 10.0, incremental_cost: 1.0 },
+            PricedCustomer {
+                customer: 0,
+                revenue: 10.0,
+                incremental_cost: 5.0,
+            },
+            PricedCustomer {
+                customer: 1,
+                revenue: 10.0,
+                incremental_cost: 50.0,
+            },
+            PricedCustomer {
+                customer: 2,
+                revenue: 10.0,
+                incremental_cost: 1.0,
+            },
         ]
     }
 
@@ -82,7 +94,10 @@ mod tests {
     fn names_and_revenue() {
         assert_eq!(Formulation::CostBased.name(), "cost-based");
         let f = Formulation::ProfitBased {
-            revenue: RevenueModel::PerUnitDemand { base: 1.0, per_unit: 2.0 },
+            revenue: RevenueModel::PerUnitDemand {
+                base: 1.0,
+                per_unit: 2.0,
+            },
         };
         assert_eq!(f.name(), "profit-based");
         assert_eq!(f.revenue(3.0), 7.0);

@@ -35,7 +35,11 @@ pub struct BackboneConfig {
 
 impl Default for BackboneConfig {
     fn default() -> Self {
-        BackboneConfig { redundancy: true, shortcut_pairs: 5, detour_threshold: 1.6 }
+        BackboneConfig {
+            redundancy: true,
+            shortcut_pairs: 5,
+            detour_threshold: 1.6,
+        }
     }
 }
 
@@ -71,7 +75,11 @@ pub fn design(
     let n = pops.len();
     assert!(n > 0, "backbone needs at least one POP");
     if n == 1 {
-        return BackboneDesign { edges: vec![], flows: vec![], lengths: vec![] };
+        return BackboneDesign {
+            edges: vec![],
+            flows: vec![],
+            lengths: vec![],
+        };
     }
     // Start from the Euclidean MST (the pure cost-based core).
     let mut edges = mst_edges(pops);
@@ -123,7 +131,11 @@ pub fn design(
         }
     }
     let lengths = edges.iter().map(|&(a, b)| pops[a].dist(&pops[b])).collect();
-    BackboneDesign { edges, flows, lengths }
+    BackboneDesign {
+        edges,
+        flows,
+        lengths,
+    }
 }
 
 /// Euclidean MST as POP index pairs.
@@ -181,7 +193,9 @@ fn bridges(pops: &[Point], edges: &[(usize, usize)]) -> Vec<usize> {
 fn augment_to_two_edge_connected(pops: &[Point], edges: &mut Vec<(usize, usize)>) {
     loop {
         let bridge_list = bridges(pops, edges);
-        let Some(&bridge) = bridge_list.first() else { break };
+        let Some(&bridge) = bridge_list.first() else {
+            break;
+        };
         // Partition without the bridge.
         let g = graph_from(pops, edges);
         let mut keep = vec![true; edges.len()];
@@ -235,14 +249,22 @@ mod tests {
 
     #[test]
     fn tree_without_redundancy() {
-        let cfg = BackboneConfig { redundancy: false, shortcut_pairs: 0, ..Default::default() };
+        let cfg = BackboneConfig {
+            redundancy: false,
+            shortcut_pairs: 0,
+            ..Default::default()
+        };
         let d = design(&square_pops(), no_demand, &cfg);
         assert_eq!(d.edges.len(), 3); // spanning tree on 4 POPs
     }
 
     #[test]
     fn redundancy_eliminates_bridges() {
-        let cfg = BackboneConfig { redundancy: true, shortcut_pairs: 0, ..Default::default() };
+        let cfg = BackboneConfig {
+            redundancy: true,
+            shortcut_pairs: 0,
+            ..Default::default()
+        };
         let d = design(&square_pops(), no_demand, &cfg);
         let g = graph_from(&square_pops(), &d.edges);
         assert!(is_k_edge_connected(&g, 2), "backbone still has a bridge");
@@ -285,9 +307,17 @@ mod tests {
     #[test]
     fn flows_conserve_demand_on_tree() {
         // Path topology: all demand between 0 and 2 crosses both edges.
-        let pops = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let pops = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
         let demand = |i: usize, j: usize| if i + j == 2 && i != j { 42.0 } else { 0.0 };
-        let cfg = BackboneConfig { redundancy: false, shortcut_pairs: 0, ..Default::default() };
+        let cfg = BackboneConfig {
+            redundancy: false,
+            shortcut_pairs: 0,
+            ..Default::default()
+        };
         let d = design(&pops, demand, &cfg);
         assert_eq!(d.edges.len(), 2);
         for f in &d.flows {
@@ -297,7 +327,11 @@ mod tests {
 
     #[test]
     fn single_and_two_pop_degenerate() {
-        let one = design(&[Point::new(0.0, 0.0)], no_demand, &BackboneConfig::default());
+        let one = design(
+            &[Point::new(0.0, 0.0)],
+            no_demand,
+            &BackboneConfig::default(),
+        );
         assert!(one.edges.is_empty());
         let two = design(
             &[Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
@@ -310,7 +344,11 @@ mod tests {
 
     #[test]
     fn lengths_match_geometry() {
-        let cfg = BackboneConfig { redundancy: false, shortcut_pairs: 0, ..Default::default() };
+        let cfg = BackboneConfig {
+            redundancy: false,
+            shortcut_pairs: 0,
+            ..Default::default()
+        };
         let d = design(&square_pops(), no_demand, &cfg);
         for (k, &(a, b)) in d.edges.iter().enumerate() {
             assert!((d.lengths[k] - square_pops()[a].dist(&square_pops()[b])).abs() < 1e-12);

@@ -72,7 +72,11 @@ impl Default for IspConfig {
             backbone: BackboneConfig::default(),
             backbone_catalog: CableCatalog::realistic_2003(),
             metro_catalog: CableCatalog::realistic_2003(),
-            demand: DemandModel::BoundedPareto { min: 1.0, max: 40.0, alpha: 1.2 },
+            demand: DemandModel::BoundedPareto {
+                min: 1.0,
+                max: 40.0,
+                alpha: 1.2,
+            },
             formulation: Formulation::CostBased,
             local_search_moves: 200,
         }
@@ -98,7 +102,11 @@ pub fn generate(
         census.cities.len(),
         config.n_pops
     );
-    assert_eq!(traffic.len(), census.cities.len(), "traffic matrix / census mismatch");
+    assert_eq!(
+        traffic.len(),
+        census.cities.len(),
+        "traffic matrix / census mismatch"
+    );
     let pops: Vec<usize> = (0..config.n_pops).collect(); // rank order = index
     let pop_points: Vec<Point> = pops.iter().map(|&c| census.cities[c].location).collect();
     // ---- Level 1: backbone ----
@@ -116,7 +124,11 @@ pub fn generate(
     let mut routers: Vec<Router> = pop_points
         .iter()
         .zip(&pops)
-        .map(|(&location, &city)| Router { role: RouterRole::Backbone, city, location })
+        .map(|(&location, &city)| Router {
+            role: RouterRole::Backbone,
+            city,
+            location,
+        })
         .collect();
     let mut links: Vec<(usize, usize, Link)> = Vec::new();
     for (k, &(a, b)) in bb.edges.iter().enumerate() {
@@ -148,8 +160,9 @@ pub fn generate(
                 ))
             })
             .collect();
-        let demands: Vec<f64> =
-            (0..n_cust).map(|_| config.demand.sample(rng).value()).collect();
+        let demands: Vec<f64> = (0..n_cust)
+            .map(|_| config.demand.sample(rng).value())
+            .collect();
         // Formulation: which customers does this ISP serve?
         let priced: Vec<PricedCustomer> = (0..n_cust)
             .map(|i| PricedCustomer {
@@ -192,7 +205,11 @@ pub fn generate(
                     // site index maps back into the subsampled customers
                     cust_points[(s - 1) * stride]
                 };
-                routers.push(Router { role: RouterRole::Distribution, city, location });
+                routers.push(Router {
+                    role: RouterRole::Distribution,
+                    city,
+                    location,
+                });
                 routers.len() - 1
             })
             .collect();
@@ -229,10 +246,7 @@ pub fn generate(
             let up_flows = access_uplink_flows(&sol.parent, &inst.demands);
             for (t, parent) in sol.parent.iter().enumerate() {
                 let (to, length) = match parent {
-                    None => (
-                        conc_nodes[ci],
-                        inst.terminals[t].dist(&inst.center),
-                    ),
+                    None => (conc_nodes[ci], inst.terminals[t].dist(&inst.center)),
                     Some(u) => (cust_nodes[*u], inst.terminals[t].dist(&inst.terminals[*u])),
                 };
                 let flow = up_flows[t];
@@ -257,7 +271,10 @@ pub fn generate(
             .iter()
             .zip(&conc_demand)
             .filter(|(_, &d)| d > 0.0)
-            .map(|(&node, &d)| BabCustomer { location: routers[node].location, demand: d })
+            .map(|(&node, &d)| BabCustomer {
+                location: routers[node].location,
+                demand: d,
+            })
             .collect();
         let bab_node_map: Vec<usize> = conc_nodes
             .iter()
@@ -270,9 +287,18 @@ pub fn generate(
             let out = greedy::mmp_plus_improve(&inst, rng, config.local_search_moves);
             let flows = out.solution.uplink_flows(&inst);
             for v in 1..out.solution.len() {
-                let parent = out.solution.tree.parent(NodeId(v as u32)).expect("non-root").index();
+                let parent = out
+                    .solution
+                    .tree
+                    .parent(NodeId(v as u32))
+                    .expect("non-root")
+                    .index();
                 let from = bab_node_map[v - 1];
-                let to = if parent == 0 { p } else { bab_node_map[parent - 1] };
+                let to = if parent == 0 {
+                    p
+                } else {
+                    bab_node_map[parent - 1]
+                };
                 let length = inst.node_point(v).dist(&inst.node_point(parent));
                 // Skip degenerate self-links (a concentrator located at
                 // the POP center would map to the POP node).
@@ -298,7 +324,12 @@ pub fn generate(
     // ---- Technology constraint: degree cap ----
     let (graph, pop_routers) =
         build_graph_with_degree_cap(&routers, &links, config.max_router_degree, config.n_pops);
-    IspTopology { graph, pop_cities: pops, pop_routers, rejected_customers }
+    IspTopology {
+        graph,
+        pop_cities: pops,
+        pop_routers,
+        rejected_customers,
+    }
 }
 
 /// Subtree demand carried on each terminal's uplink in an Esau–Williams
@@ -329,10 +360,7 @@ fn access_uplink_flows(parent: &[Option<usize>], demands: &[f64]) -> Vec<f64> {
 /// model used during generation). Pre-existing chassis links count toward
 /// degree like any other link. Used by the peering module, whose
 /// inter-ISP links are added after per-ISP generation.
-pub fn enforce_degree_cap(
-    graph: &Graph<Router, Link>,
-    max_degree: usize,
-) -> Graph<Router, Link> {
+pub fn enforce_degree_cap(graph: &Graph<Router, Link>, max_degree: usize) -> Graph<Router, Link> {
     let routers: Vec<Router> = graph.node_ids().map(|v| *graph.node_weight(v)).collect();
     let links: Vec<(usize, usize, Link)> = graph
         .edges()
@@ -376,7 +404,11 @@ fn build_graph_with_degree_cap(
             } else {
                 2
             };
-            ports.push(if max_degree == 0 { usize::MAX } else { max_degree - chain_ports });
+            ports.push(if max_degree == 0 {
+                usize::MAX
+            } else {
+                max_degree - chain_ports
+            });
             ids.push(id);
         }
         for w in ids.windows(2) {
@@ -417,7 +449,10 @@ fn required_chassis(degree: usize, max_degree: usize) -> usize {
     if max_degree == 0 || degree <= max_degree {
         return 1;
     }
-    assert!(max_degree >= 3, "degree cap below 3 cannot host chassis chains");
+    assert!(
+        max_degree >= 3,
+        "degree cap below 3 cannot host chassis chains"
+    );
     let mut k = 2;
     while k * max_degree - 2 * (k - 1) < degree {
         k += 1;
@@ -446,7 +481,10 @@ mod tests {
 
     fn small_setup(seed: u64) -> (Census, TrafficMatrix) {
         let census = Census::synthesize(
-            &CensusConfig { n_cities: 12, ..CensusConfig::default() },
+            &CensusConfig {
+                n_cities: 12,
+                ..CensusConfig::default()
+            },
             &mut StdRng::seed_from_u64(seed),
         );
         let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
@@ -454,7 +492,11 @@ mod tests {
     }
 
     fn small_config() -> IspConfig {
-        IspConfig { n_pops: 4, total_customers: 60, ..IspConfig::default() }
+        IspConfig {
+            n_pops: 4,
+            total_customers: 60,
+            ..IspConfig::default()
+        }
     }
 
     #[test]
@@ -510,7 +552,10 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(8);
         let isp = generate(&census, &traffic, &config, &mut rng);
-        assert!(isp.rejected_customers > 0, "expected some unprofitable customers");
+        assert!(
+            isp.rejected_customers > 0,
+            "expected some unprofitable customers"
+        );
         // Cost-based on the same census serves everyone.
         let mut rng = StdRng::seed_from_u64(8);
         let cost_isp = generate(&census, &traffic, &small_config(), &mut rng);
@@ -520,8 +565,18 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (census, traffic) = small_setup(9);
-        let a = generate(&census, &traffic, &small_config(), &mut StdRng::seed_from_u64(10));
-        let b = generate(&census, &traffic, &small_config(), &mut StdRng::seed_from_u64(10));
+        let a = generate(
+            &census,
+            &traffic,
+            &small_config(),
+            &mut StdRng::seed_from_u64(10),
+        );
+        let b = generate(
+            &census,
+            &traffic,
+            &small_config(),
+            &mut StdRng::seed_from_u64(10),
+        );
         assert_eq!(a.graph.node_count(), b.graph.node_count());
         assert_eq!(a.graph.edge_count(), b.graph.edge_count());
         assert_eq!(a.graph.degree_sequence(), b.graph.degree_sequence());
@@ -535,7 +590,12 @@ mod tests {
         for (_, _, _, l) in isp.graph.edges() {
             if l.kind != LinkKind::Chassis {
                 assert!(l.capacity > 0.0);
-                assert!(l.flow <= l.capacity + 1e-9, "flow {} > capacity {}", l.flow, l.capacity);
+                assert!(
+                    l.flow <= l.capacity + 1e-9,
+                    "flow {} > capacity {}",
+                    l.flow,
+                    l.capacity
+                );
             }
         }
     }

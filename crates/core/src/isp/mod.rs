@@ -103,7 +103,10 @@ impl IspTopology {
 
     /// Count of links of the given kind.
     pub fn count_kind(&self, kind: LinkKind) -> usize {
-        self.graph.edges().filter(|(_, _, _, l)| l.kind == kind).count()
+        self.graph
+            .edges()
+            .filter(|(_, _, _, l)| l.kind == kind)
+            .count()
     }
 
     /// Degree sequence restricted to routers of one role.

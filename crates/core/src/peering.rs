@@ -59,7 +59,10 @@ impl Default for InternetConfig {
             tier1_count: 3,
             transit_per_isp: 2,
             peer_cities: 2,
-            isp_template: IspConfig { total_customers: 0, ..IspConfig::default() },
+            isp_template: IspConfig {
+                total_customers: 0,
+                ..IspConfig::default()
+            },
             customers_per_pop: 30,
         }
     }
@@ -220,7 +223,15 @@ pub fn generate_internet(
     // Tier-1 clique.
     for a in 0..tier1 {
         for b in a + 1..tier1 {
-            connect_pair(&isps, a, b, config.peer_cities, Relationship::PeerPeer, &mut usage, &mut peering);
+            connect_pair(
+                &isps,
+                a,
+                b,
+                config.peer_cities,
+                Relationship::PeerPeer,
+                &mut usage,
+                &mut peering,
+            );
         }
     }
     // Transit: each non-tier-1 ISP picks providers among strictly larger
@@ -251,7 +262,10 @@ pub fn generate_internet(
                 }
             }
             let provider = selected.unwrap_or_else(|| {
-                *candidates.iter().find(|c| !chosen.contains(c)).expect("candidate exists")
+                *candidates
+                    .iter()
+                    .find(|c| !chosen.contains(c))
+                    .expect("candidate exists")
             });
             chosen.push(provider);
         }
@@ -267,7 +281,11 @@ pub fn generate_internet(
             );
         }
     }
-    Internet { isps, peering, router_degree_cap: config.isp_template.max_router_degree }
+    Internet {
+        isps,
+        peering,
+        router_degree_cap: config.isp_template.max_router_degree,
+    }
 }
 
 /// Adds peering links between two ISPs at up to `max_cities` shared POP
@@ -300,7 +318,14 @@ fn connect_pair(
     for &(city, ra, rb) in shared.iter().take(max_cities) {
         *usage.entry((a, city)).or_insert(0) += 1;
         *usage.entry((b, city)).or_insert(0) += 1;
-        out.push(PeeringLink { isp_a: a, router_a: ra, isp_b: b, router_b: rb, city, relationship });
+        out.push(PeeringLink {
+            isp_a: a,
+            router_a: ra,
+            isp_b: b,
+            router_b: rb,
+            city,
+            relationship,
+        });
     }
 }
 
@@ -315,7 +340,10 @@ mod tests {
 
     fn setup(seed: u64) -> (Census, TrafficMatrix) {
         let census = Census::synthesize(
-            &CensusConfig { n_cities: 15, ..CensusConfig::default() },
+            &CensusConfig {
+                n_cities: 15,
+                ..CensusConfig::default()
+            },
             &mut StdRng::seed_from_u64(seed),
         );
         let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
@@ -332,7 +360,12 @@ mod tests {
             customers_per_pop: 10,
             ..InternetConfig::default()
         };
-        generate_internet(&census, &traffic, &config, &mut StdRng::seed_from_u64(seed + 1))
+        generate_internet(
+            &census,
+            &traffic,
+            &config,
+            &mut StdRng::seed_from_u64(seed + 1),
+        )
     }
 
     #[test]
@@ -341,7 +374,10 @@ mod tests {
         assert_eq!(net.isps.len(), 8);
         let asg = net.as_graph();
         assert_eq!(asg.node_count(), 8);
-        assert!(is_connected(&asg), "every ISP buys transit, so the AS graph is connected");
+        assert!(
+            is_connected(&asg),
+            "every ISP buys transit, so the AS graph is connected"
+        );
     }
 
     #[test]
@@ -349,7 +385,11 @@ mod tests {
         let net = small_internet(2);
         let sizes: Vec<usize> = net.isps.iter().map(|i| i.pop_cities.len()).collect();
         for w in sizes.windows(2) {
-            assert!(w[0] >= w[1], "ISP sizes must be non-increasing: {:?}", sizes);
+            assert!(
+                w[0] >= w[1],
+                "ISP sizes must be non-increasing: {:?}",
+                sizes
+            );
         }
         assert_eq!(sizes[0], 6);
     }
@@ -376,8 +416,10 @@ mod tests {
         let total_nodes: usize = net.isps.iter().map(|i| i.graph.node_count()).sum();
         assert_eq!(g.node_count(), total_nodes);
         // Peering links present and labeled.
-        let peering_edges =
-            g.edges().filter(|(_, _, _, l)| l.kind == LinkKind::Peering).count();
+        let peering_edges = g
+            .edges()
+            .filter(|(_, _, _, l)| l.kind == LinkKind::Peering)
+            .count();
         assert_eq!(peering_edges, net.peering.len());
         assert!(peering_edges > 0);
     }
@@ -398,8 +440,10 @@ mod tests {
             );
         }
         // Peering links survive the re-capping.
-        let peering_edges =
-            g.edges().filter(|(_, _, _, l)| l.kind == LinkKind::Peering).count();
+        let peering_edges = g
+            .edges()
+            .filter(|(_, _, _, l)| l.kind == LinkKind::Peering)
+            .count();
         assert_eq!(peering_edges, net.peering.len());
     }
 
@@ -408,8 +452,7 @@ mod tests {
         let net = small_internet(10);
         // With usage-aware selection, the tier-1 providers' peering links
         // must not all land on one city.
-        let cities: std::collections::HashSet<usize> =
-            net.peering.iter().map(|p| p.city).collect();
+        let cities: std::collections::HashSet<usize> = net.peering.iter().map(|p| p.city).collect();
         assert!(cities.len() >= 2, "all peering collapsed onto {:?}", cities);
     }
 
@@ -449,7 +492,10 @@ mod tests {
     #[should_panic(expected = "at least one ISP")]
     fn zero_isps_rejected() {
         let (census, traffic) = setup(8);
-        let config = InternetConfig { n_isps: 0, ..InternetConfig::default() };
+        let config = InternetConfig {
+            n_isps: 0,
+            ..InternetConfig::default()
+        };
         generate_internet(&census, &traffic, &config, &mut StdRng::seed_from_u64(0));
     }
 }

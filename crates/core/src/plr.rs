@@ -103,7 +103,9 @@ impl PlrSolution {
 
     /// Expected loss `Σ P(cellᵢ)·lᵢ`.
     pub fn expected_loss(&self) -> f64 {
-        (0..self.n_cells()).map(|i| self.cell_probability[i] * self.cell_loss(i)).sum()
+        (0..self.n_cells())
+            .map(|i| self.cell_probability[i] * self.cell_loss(i))
+            .sum()
     }
 
     /// Samples `m` event losses: draw a cell by its probability mass,
@@ -134,7 +136,10 @@ impl PlrSolution {
 /// Panics on zero cells, a resolution below the cell count, or (for
 /// `RandomBreaks`) when no RNG is provided via [`solve_with_rng`].
 pub fn solve(config: &PlrConfig) -> PlrSolution {
-    assert!(config.design != Design::RandomBreaks, "RandomBreaks requires solve_with_rng");
+    assert!(
+        config.design != Design::RandomBreaks,
+        "RandomBreaks requires solve_with_rng"
+    );
     solve_inner(config, None::<&mut rand::rngs::ThreadRng>)
 }
 
@@ -145,7 +150,10 @@ pub fn solve_with_rng(config: &PlrConfig, rng: &mut impl Rng) -> PlrSolution {
 
 fn solve_inner(config: &PlrConfig, rng: Option<&mut impl Rng>) -> PlrSolution {
     assert!(config.n_cells >= 1, "need at least one cell");
-    assert!(config.resolution >= config.n_cells, "resolution must be >= n_cells");
+    assert!(
+        config.resolution >= config.n_cells,
+        "resolution must be >= n_cells"
+    );
     let res = config.resolution;
     let dx = 1.0 / res as f64;
     // Discretized, normalized density.
@@ -157,13 +165,14 @@ fn solve_inner(config: &PlrConfig, rng: Option<&mut impl Rng>) -> PlrSolution {
         *d /= mass;
     }
     let boundaries = match config.design {
-        Design::UniformGrid => {
-            (0..=config.n_cells).map(|i| i as f64 / config.n_cells as f64).collect()
-        }
+        Design::UniformGrid => (0..=config.n_cells)
+            .map(|i| i as f64 / config.n_cells as f64)
+            .collect(),
         Design::RandomBreaks => {
             let rng = rng.expect("RandomBreaks requires an RNG");
-            let mut cuts: Vec<f64> =
-                (0..config.n_cells - 1).map(|_| rng.random_range(0.0..1.0)).collect();
+            let mut cuts: Vec<f64> = (0..config.n_cells - 1)
+                .map(|_| rng.random_range(0.0..1.0))
+                .collect();
             cuts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             let mut b = Vec::with_capacity(config.n_cells + 1);
             b.push(0.0);
@@ -184,10 +193,16 @@ fn solve_inner(config: &PlrConfig, rng: Option<&mut impl Rng>) -> PlrSolution {
     for (i, d) in density.iter().enumerate() {
         let x = (i as f64 + 0.5) * dx;
         // Find the cell containing x.
-        let cell = boundaries.partition_point(|&b| b <= x).saturating_sub(1).min(config.n_cells - 1);
+        let cell = boundaries
+            .partition_point(|&b| b <= x)
+            .saturating_sub(1)
+            .min(config.n_cells - 1);
         cell_probability[cell] += d * dx;
     }
-    PlrSolution { boundaries, cell_probability }
+    PlrSolution {
+        boundaries,
+        cell_probability,
+    }
 }
 
 /// Lagrange-optimal boundaries: cell sizes proportional to `p̄^{-1/2}`
@@ -225,7 +240,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(design: Design) -> PlrConfig {
-        PlrConfig { n_cells: 50, resolution: 20_000, design, ..PlrConfig::default() }
+        PlrConfig {
+            n_cells: 50,
+            resolution: 20_000,
+            design,
+            ..PlrConfig::default()
+        }
     }
 
     #[test]
@@ -277,8 +297,14 @@ mod tests {
             resolution: 20_000,
             ..PlrConfig::default()
         };
-        let hot = solve(&PlrConfig { design: Design::HotOptimal, ..base.clone() });
-        let uni = solve(&PlrConfig { design: Design::UniformGrid, ..base });
+        let hot = solve(&PlrConfig {
+            design: Design::HotOptimal,
+            ..base.clone()
+        });
+        let uni = solve(&PlrConfig {
+            design: Design::UniformGrid,
+            ..base
+        });
         assert!((hot.expected_loss() - uni.expected_loss()).abs() < 1e-3);
     }
 
@@ -308,7 +334,12 @@ mod tests {
         let uni = solve(&cfg(Design::UniformGrid));
         let r_hot = tail_ratio(&hot, &mut rng);
         let r_uni = tail_ratio(&uni, &mut rng);
-        assert!(r_hot > 3.0 * r_uni, "hot tail {} vs uniform tail {}", r_hot, r_uni);
+        assert!(
+            r_hot > 3.0 * r_uni,
+            "hot tail {} vs uniform tail {}",
+            r_hot,
+            r_uni
+        );
     }
 
     #[test]

@@ -63,13 +63,27 @@ impl std::fmt::Display for CatalogError {
         match self {
             CatalogError::Empty => write!(f, "catalog has no cable types"),
             CatalogError::NonPositive { index } => {
-                write!(f, "cable {}: capacities and costs must be positive finite", index)
+                write!(
+                    f,
+                    "cable {}: capacities and costs must be positive finite",
+                    index
+                )
             }
             CatalogError::CapacityOrder { index } => {
-                write!(f, "cables {}..{}: capacities must be non-decreasing", index, index + 1)
+                write!(
+                    f,
+                    "cables {}..{}: capacities must be non-decreasing",
+                    index,
+                    index + 1
+                )
             }
             CatalogError::FixedCostOrder { index } => {
-                write!(f, "cables {}..{}: fixed costs must be non-decreasing", index, index + 1)
+                write!(
+                    f,
+                    "cables {}..{}: fixed costs must be non-decreasing",
+                    index,
+                    index + 1
+                )
             }
             CatalogError::MarginalCostOrder { index } => write!(
                 f,
@@ -122,11 +136,36 @@ impl CableCatalog {
     /// with 2003 wholesale transport pricing structure.
     pub fn realistic_2003() -> Self {
         CableCatalog::new(vec![
-            CableType { capacity: 45.0, fixed_cost: 10.0, marginal_cost: 1.0, name: "DS-3" },
-            CableType { capacity: 155.0, fixed_cost: 22.0, marginal_cost: 0.38, name: "OC-3" },
-            CableType { capacity: 622.0, fixed_cost: 55.0, marginal_cost: 0.13, name: "OC-12" },
-            CableType { capacity: 2488.0, fixed_cost: 140.0, marginal_cost: 0.045, name: "OC-48" },
-            CableType { capacity: 9953.0, fixed_cost: 360.0, marginal_cost: 0.016, name: "OC-192" },
+            CableType {
+                capacity: 45.0,
+                fixed_cost: 10.0,
+                marginal_cost: 1.0,
+                name: "DS-3",
+            },
+            CableType {
+                capacity: 155.0,
+                fixed_cost: 22.0,
+                marginal_cost: 0.38,
+                name: "OC-3",
+            },
+            CableType {
+                capacity: 622.0,
+                fixed_cost: 55.0,
+                marginal_cost: 0.13,
+                name: "OC-12",
+            },
+            CableType {
+                capacity: 2488.0,
+                fixed_cost: 140.0,
+                marginal_cost: 0.045,
+                name: "OC-48",
+            },
+            CableType {
+                capacity: 9953.0,
+                fixed_cost: 360.0,
+                marginal_cost: 0.016,
+                name: "OC-192",
+            },
         ])
         .expect("built-in catalog satisfies axioms")
     }
@@ -291,7 +330,12 @@ mod tests {
 
     #[test]
     fn cost_for_flow_and_instances() {
-        let t = CableType { capacity: 100.0, fixed_cost: 10.0, marginal_cost: 0.5, name: "x" };
+        let t = CableType {
+            capacity: 100.0,
+            fixed_cost: 10.0,
+            marginal_cost: 0.5,
+            name: "x",
+        };
         assert!((t.cost_for_flow(20.0) - 20.0).abs() < 1e-12);
         assert_eq!(t.instances_for(0.0), 0);
         assert_eq!(t.instances_for(100.0), 1);

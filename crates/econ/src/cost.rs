@@ -20,7 +20,10 @@ pub struct LinkCost {
 impl LinkCost {
     /// A cost model with no port charges.
     pub fn cables_only(catalog: CableCatalog) -> Self {
-        LinkCost { catalog, port_cost: 0.0 }
+        LinkCost {
+            catalog,
+            port_cost: 0.0,
+        }
     }
 
     /// Total cost of a link of `length` carrying `flow`.
@@ -54,7 +57,10 @@ mod tests {
     use crate::cable::CableCatalog;
 
     fn model() -> LinkCost {
-        LinkCost { catalog: CableCatalog::realistic_2003(), port_cost: 50.0 }
+        LinkCost {
+            catalog: CableCatalog::realistic_2003(),
+            port_cost: 50.0,
+        }
     }
 
     #[test]

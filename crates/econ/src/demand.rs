@@ -35,7 +35,10 @@ impl DemandModel {
         match *self {
             DemandModel::Uniform { demand } => CustomerDemand(demand),
             DemandModel::BoundedPareto { min, max, alpha } => {
-                assert!(min > 0.0 && max > min && alpha > 0.0, "invalid bounded Pareto");
+                assert!(
+                    min > 0.0 && max > min && alpha > 0.0,
+                    "invalid bounded Pareto"
+                );
                 // Inverse-CDF sampling of the bounded Pareto.
                 let u: f64 = rng.random_range(0.0..1.0);
                 let la = min.powf(alpha);
@@ -70,7 +73,11 @@ mod tests {
     #[test]
     fn pareto_within_bounds() {
         let mut rng = StdRng::seed_from_u64(1);
-        let m = DemandModel::BoundedPareto { min: 1.0, max: 100.0, alpha: 1.2 };
+        let m = DemandModel::BoundedPareto {
+            min: 1.0,
+            max: 100.0,
+            alpha: 1.2,
+        };
         let samples = m.sample_many(5000, &mut rng);
         for d in &samples {
             assert!(d.value() >= 1.0 && d.value() <= 100.0);
@@ -80,7 +87,11 @@ mod tests {
     #[test]
     fn pareto_is_skewed() {
         let mut rng = StdRng::seed_from_u64(2);
-        let m = DemandModel::BoundedPareto { min: 1.0, max: 1000.0, alpha: 1.2 };
+        let m = DemandModel::BoundedPareto {
+            min: 1.0,
+            max: 1000.0,
+            alpha: 1.2,
+        };
         let samples = m.sample_many(20_000, &mut rng);
         let mean = samples.iter().map(|d| d.value()).sum::<f64>() / samples.len() as f64;
         let mut values: Vec<f64> = samples.iter().map(|d| d.value()).collect();
@@ -94,12 +105,21 @@ mod tests {
     #[should_panic(expected = "invalid bounded Pareto")]
     fn bad_pareto_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
-        DemandModel::BoundedPareto { min: 5.0, max: 1.0, alpha: 1.0 }.sample(&mut rng);
+        DemandModel::BoundedPareto {
+            min: 5.0,
+            max: 1.0,
+            alpha: 1.0,
+        }
+        .sample(&mut rng);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let m = DemandModel::BoundedPareto { min: 1.0, max: 10.0, alpha: 1.5 };
+        let m = DemandModel::BoundedPareto {
+            min: 1.0,
+            max: 10.0,
+            alpha: 1.5,
+        };
         let a = m.sample_many(50, &mut StdRng::seed_from_u64(7));
         let b = m.sample_many(50, &mut StdRng::seed_from_u64(7));
         assert_eq!(a, b);

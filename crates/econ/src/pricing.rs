@@ -76,16 +76,31 @@ mod tests {
     fn revenue_models() {
         let flat = RevenueModel::FlatPerCustomer { revenue: 40.0 };
         assert_eq!(flat.revenue(999.0), 40.0);
-        let usage = RevenueModel::PerUnitDemand { base: 10.0, per_unit: 2.0 };
+        let usage = RevenueModel::PerUnitDemand {
+            base: 10.0,
+            per_unit: 2.0,
+        };
         assert_eq!(usage.revenue(5.0), 20.0);
     }
 
     #[test]
     fn prefix_takes_only_profitable() {
         let candidates = vec![
-            PricedCustomer { customer: 0, revenue: 100.0, incremental_cost: 10.0 },
-            PricedCustomer { customer: 1, revenue: 50.0, incremental_cost: 60.0 },
-            PricedCustomer { customer: 2, revenue: 80.0, incremental_cost: 20.0 },
+            PricedCustomer {
+                customer: 0,
+                revenue: 100.0,
+                incremental_cost: 10.0,
+            },
+            PricedCustomer {
+                customer: 1,
+                revenue: 50.0,
+                incremental_cost: 60.0,
+            },
+            PricedCustomer {
+                customer: 2,
+                revenue: 80.0,
+                incremental_cost: 20.0,
+            },
         ];
         let (selected, profit) = profitable_prefix(candidates);
         assert_eq!(selected, vec![0, 2]);
@@ -118,7 +133,11 @@ mod tests {
 
     #[test]
     fn margin_accessor() {
-        let c = PricedCustomer { customer: 3, revenue: 9.0, incremental_cost: 4.0 };
+        let c = PricedCustomer {
+            customer: 3,
+            revenue: 9.0,
+            incremental_cost: 4.0,
+        };
         assert!((c.margin() - 5.0).abs() < 1e-12);
     }
 }

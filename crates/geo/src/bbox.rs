@@ -17,7 +17,12 @@ impl BoundingBox {
     /// Creates a box; panics if the bounds are inverted.
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
         assert!(min_x <= max_x && min_y <= max_y, "inverted bounding box");
-        BoundingBox { min_x, min_y, max_x, max_y }
+        BoundingBox {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// The unit square `[0,1]²`.
@@ -47,7 +52,10 @@ impl BoundingBox {
 
     /// Center point.
     pub fn center(&self) -> Point {
-        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
     }
 
     /// Length of the diagonal — the maximum possible distance inside the
@@ -71,7 +79,10 @@ impl BoundingBox {
 
     /// Clamps `p` into the box.
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(p.x.clamp(self.min_x, self.max_x), p.y.clamp(self.min_y, self.max_y))
+        Point::new(
+            p.x.clamp(self.min_x, self.max_x),
+            p.y.clamp(self.min_y, self.max_y),
+        )
     }
 
     /// Smallest box containing all `points`; `None` when empty.
@@ -131,7 +142,11 @@ mod tests {
     #[test]
     fn enclosing_box() {
         assert_eq!(BoundingBox::enclosing(&[]), None);
-        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(0.0, 7.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(0.0, 7.0),
+        ];
         let b = BoundingBox::enclosing(&pts).unwrap();
         assert_eq!(b, BoundingBox::new(-2.0, 3.0, 1.0, 7.0));
         for p in &pts {

@@ -30,7 +30,11 @@ pub struct GravityConfig {
 
 impl Default for GravityConfig {
     fn default() -> Self {
-        GravityConfig { distance_exponent: 1.0, total_traffic: 1_000_000.0, min_distance: 1.0 }
+        GravityConfig {
+            distance_exponent: 1.0,
+            total_traffic: 1_000_000.0,
+            min_distance: 1.0,
+        }
     }
 }
 
@@ -64,7 +68,11 @@ impl TrafficMatrix {
     /// Uniform all-pairs demand summing to `total_traffic`.
     pub fn uniform(n: usize, total_traffic: f64) -> Self {
         let pairs = (n * n.saturating_sub(1)) / 2;
-        let per = if pairs > 0 { total_traffic / pairs as f64 } else { 0.0 };
+        let per = if pairs > 0 {
+            total_traffic / pairs as f64
+        } else {
+            0.0
+        };
         let mut demand = vec![per; n * n];
         for i in 0..n {
             demand[i * n + i] = 0.0;
@@ -163,7 +171,10 @@ mod tests {
 
     #[test]
     fn scales_to_total() {
-        let config = GravityConfig { total_traffic: 777.0, ..GravityConfig::default() };
+        let config = GravityConfig {
+            total_traffic: 777.0,
+            ..GravityConfig::default()
+        };
         let tm = TrafficMatrix::gravity(&fixture(), &config);
         assert!((tm.total() - 777.0).abs() < 1e-9);
     }
@@ -179,7 +190,10 @@ mod tests {
 
     #[test]
     fn distance_blind_when_gamma_zero() {
-        let config = GravityConfig { distance_exponent: 0.0, ..GravityConfig::default() };
+        let config = GravityConfig {
+            distance_exponent: 0.0,
+            ..GravityConfig::default()
+        };
         let tm = TrafficMatrix::gravity(&fixture(), &config);
         // demand(0,1)/demand(0,2) should equal pop ratio 500/100 = 5.
         assert!((tm.demand(0, 1) / tm.demand(0, 2) - 5.0).abs() < 1e-9);

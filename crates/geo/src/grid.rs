@@ -28,11 +28,23 @@ impl SpatialGrid {
     pub fn new(bounds: BoundingBox, target_cells: usize) -> Self {
         let target = target_cells.max(1);
         // Aspect-proportional cell counts; at least 1 each way.
-        let aspect = if bounds.height() > 0.0 { bounds.width() / bounds.height() } else { 1.0 };
+        let aspect = if bounds.height() > 0.0 {
+            bounds.width() / bounds.height()
+        } else {
+            1.0
+        };
         let cells_x = ((target as f64 * aspect).sqrt().round() as usize).max(1);
         let cells_y = (target / cells_x.max(1)).max(1);
-        let cell_w = if cells_x > 0 { bounds.width() / cells_x as f64 } else { bounds.width() };
-        let cell_h = if cells_y > 0 { bounds.height() / cells_y as f64 } else { bounds.height() };
+        let cell_w = if cells_x > 0 {
+            bounds.width() / cells_x as f64
+        } else {
+            bounds.width()
+        };
+        let cell_h = if cells_y > 0 {
+            bounds.height() / cells_y as f64
+        } else {
+            bounds.height()
+        };
         SpatialGrid {
             bounds,
             cells_x,

@@ -18,8 +18,8 @@
 //! Everything is deterministic given an RNG seed.
 
 pub mod bbox;
-pub mod grid;
 pub mod gravity;
+pub mod grid;
 pub mod point;
 pub mod population;
 

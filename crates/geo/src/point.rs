@@ -42,7 +42,10 @@ impl Point {
 
     /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
-        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 }
 
@@ -74,7 +77,9 @@ pub fn centroid(points: &[Point]) -> Option<Point> {
         return None;
     }
     let n = points.len() as f64;
-    let (sx, sy) = points.iter().fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+    let (sx, sy) = points
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
     Some(Point::new(sx / n, sy / n))
 }
 
@@ -121,13 +126,21 @@ mod tests {
     #[test]
     fn centroid_cases() {
         assert_eq!(centroid(&[]), None);
-        let pts = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 3.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 3.0),
+        ];
         assert_eq!(centroid(&pts), Some(Point::new(1.0, 1.0)));
     }
 
     #[test]
     fn nearest_picks_closest_with_tie_to_lowest() {
-        let pts = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(-2.0, 0.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(-2.0, 0.0),
+        ];
         assert_eq!(nearest_index(&pts, &Point::new(1.8, 0.0)), Some(1));
         // Equidistant between index 1 and 2 -> lowest index among minima.
         assert_eq!(nearest_index(&pts, &Point::new(0.0, 5.0)), Some(0));

@@ -71,7 +71,10 @@ impl Default for CensusConfig {
             max_population: 8_000_000.0,
             zipf_exponent: 1.0,
             region: BoundingBox::square(1000.0),
-            placement: Placement::Clustered { centers: 8, spread: 60.0 },
+            placement: Placement::Clustered {
+                centers: 8,
+                spread: 60.0,
+            },
         }
     }
 }
@@ -80,16 +83,21 @@ impl Census {
     /// Synthesizes a census from `config` using `rng`.
     pub fn synthesize(config: &CensusConfig, rng: &mut impl Rng) -> Self {
         assert!(config.n_cities > 0, "census needs at least one city");
-        assert!(config.max_population > 0.0, "max_population must be positive");
-        assert!(config.zipf_exponent >= 0.0, "zipf exponent must be non-negative");
+        assert!(
+            config.max_population > 0.0,
+            "max_population must be positive"
+        );
+        assert!(
+            config.zipf_exponent >= 0.0,
+            "zipf exponent must be non-negative"
+        );
         let locations: Vec<Point> = match &config.placement {
-            Placement::Uniform => {
-                (0..config.n_cities).map(|_| config.region.sample_uniform(rng)).collect()
-            }
+            Placement::Uniform => (0..config.n_cities)
+                .map(|_| config.region.sample_uniform(rng))
+                .collect(),
             Placement::Clustered { centers, spread } => {
                 let k = (*centers).max(1);
-                let seeds: Vec<Point> =
-                    (0..k).map(|_| config.region.sample_uniform(rng)).collect();
+                let seeds: Vec<Point> = (0..k).map(|_| config.region.sample_uniform(rng)).collect();
                 (0..config.n_cities)
                     .map(|_| {
                         let seed = seeds[rng.random_range(0..k)];
@@ -114,7 +122,10 @@ impl Census {
                 }
             })
             .collect();
-        Census { cities, region: config.region }
+        Census {
+            cities,
+            region: config.region,
+        }
     }
 
     /// Total population across cities.
@@ -150,7 +161,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(placement: Placement) -> CensusConfig {
-        CensusConfig { n_cities: 50, placement, ..CensusConfig::default() }
+        CensusConfig {
+            n_cities: 50,
+            placement,
+            ..CensusConfig::default()
+        }
     }
 
     #[test]
@@ -169,7 +184,13 @@ mod tests {
     #[test]
     fn cities_inside_region() {
         let mut rng = StdRng::seed_from_u64(2);
-        for placement in [Placement::Uniform, Placement::Clustered { centers: 5, spread: 100.0 }] {
+        for placement in [
+            Placement::Uniform,
+            Placement::Clustered {
+                centers: 5,
+                spread: 100.0,
+            },
+        ] {
             let census = Census::synthesize(&cfg(placement), &mut rng);
             for c in &census.cities {
                 assert!(census.region.contains(&c.location));
@@ -184,7 +205,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let uni = Census::synthesize(&cfg(Placement::Uniform), &mut rng);
         let clu = Census::synthesize(
-            &cfg(Placement::Clustered { centers: 3, spread: 10.0 }),
+            &cfg(Placement::Clustered {
+                centers: 3,
+                spread: 10.0,
+            }),
             &mut rng,
         );
         let mean_nn = |c: &Census| {
@@ -224,14 +248,20 @@ mod tests {
     #[should_panic(expected = "at least one city")]
     fn zero_cities_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
-        let bad = CensusConfig { n_cities: 0, ..CensusConfig::default() };
+        let bad = CensusConfig {
+            n_cities: 0,
+            ..CensusConfig::default()
+        };
         Census::synthesize(&bad, &mut rng);
     }
 
     #[test]
     fn flat_zipf_exponent_gives_equal_sizes() {
         let mut rng = StdRng::seed_from_u64(5);
-        let config = CensusConfig { zipf_exponent: 0.0, ..cfg(Placement::Uniform) };
+        let config = CensusConfig {
+            zipf_exponent: 0.0,
+            ..cfg(Placement::Uniform)
+        };
         let census = Census::synthesize(&config, &mut rng);
         assert!(census
             .cities

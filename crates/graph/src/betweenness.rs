@@ -48,8 +48,7 @@ pub fn betweenness<N, E>(g: &Graph<N, E>) -> Vec<f64> {
         }
         while let Some(w) = stack.pop() {
             for &v in &preds[w.index()] {
-                delta[v.index()] +=
-                    sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+                delta[v.index()] += sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
             }
             if w != s {
                 centrality[w.index()] += delta[w.index()];
@@ -84,8 +83,7 @@ mod tests {
 
     #[test]
     fn star_center_covers_all_pairs() {
-        let g: Graph<(), ()> =
-            Graph::from_edges(5, (1..5).map(|i| (0, i, ())).collect::<Vec<_>>());
+        let g: Graph<(), ()> = Graph::from_edges(5, (1..5).map(|i| (0, i, ())).collect::<Vec<_>>());
         let b = betweenness(&g);
         // 4 leaves -> C(4,2) = 6 pairs all through the hub.
         assert!((b[0] - 6.0).abs() < 1e-9);
@@ -100,7 +98,10 @@ mod tests {
             Graph::from_edges(4, vec![(0, 1, ()), (1, 2, ()), (2, 3, ()), (3, 0, ())]);
         let b = betweenness(&g);
         for v in 0..4 {
-            assert!((b[v] - b[0]).abs() < 1e-9, "cycle betweenness should be uniform");
+            assert!(
+                (b[v] - b[0]).abs() < 1e-9,
+                "cycle betweenness should be uniform"
+            );
         }
         // Each opposite pair has 2 shortest paths, contributing 1/2 to each
         // intermediate: node 0 is interior to exactly the pair (1,3) with

@@ -69,7 +69,10 @@ pub fn mean_degree<N, E>(g: &Graph<N, E>) -> f64 {
 pub fn rank_degree<N, E>(g: &Graph<N, E>) -> Vec<(usize, usize)> {
     let mut degs = g.degree_sequence();
     degs.sort_unstable_by(|a, b| b.cmp(a));
-    degs.into_iter().enumerate().map(|(i, d)| (i + 1, d)).collect()
+    degs.into_iter()
+        .enumerate()
+        .map(|(i, d)| (i + 1, d))
+        .collect()
 }
 
 #[cfg(test)]

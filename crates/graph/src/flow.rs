@@ -129,7 +129,13 @@ mod tests {
         // Diamond with capacities: 0-1 (3), 0-2 (2), 1-3 (2), 2-3 (3), 1-2 (1).
         let g: Graph<(), f64> = Graph::from_edges(
             4,
-            vec![(0, 1, 3.0), (0, 2, 2.0), (1, 3, 2.0), (2, 3, 3.0), (1, 2, 1.0)],
+            vec![
+                (0, 1, 3.0),
+                (0, 2, 2.0),
+                (1, 3, 2.0),
+                (2, 3, 3.0),
+                (1, 2, 1.0),
+            ],
         );
         let f = max_flow(&g, NodeId(0), NodeId(3), |c| *c);
         assert!((f - 5.0).abs() < 1e-9);
@@ -158,8 +164,7 @@ mod tests {
 
     #[test]
     fn tree_is_one_edge_connected() {
-        let g: Graph<(), f64> =
-            Graph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (1, 3, 1.0)]);
+        let g: Graph<(), f64> = Graph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (1, 3, 1.0)]);
         assert_eq!(global_edge_connectivity(&g), 1);
         assert!(is_k_edge_connected(&g, 1));
         assert!(!is_k_edge_connected(&g, 2));

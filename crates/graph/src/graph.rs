@@ -76,7 +76,11 @@ impl<N, E> Default for Graph<N, E> {
 impl<N, E> Graph<N, E> {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new(), edges: Vec::new(), adj: Vec::new() }
+        Graph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            adj: Vec::new(),
+        }
     }
 
     /// Creates an empty graph with pre-allocated capacity.
@@ -210,7 +214,11 @@ impl<N, E> Graph<N, E> {
     /// First edge found between `a` and `b`, if any.
     pub fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
         // Scan the smaller adjacency list.
-        let (from, to) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        let (from, to) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.adj[from.index()]
             .iter()
             .find(|(nbr, _)| *nbr == to)
@@ -283,7 +291,11 @@ impl<N, E> Graph<N, E> {
         N: Clone,
         E: Clone,
     {
-        assert_eq!(keep_edge.len(), self.edge_count(), "edge mask length mismatch");
+        assert_eq!(
+            keep_edge.len(),
+            self.edge_count(),
+            "edge mask length mismatch"
+        );
         let mut out = Graph::with_capacity(self.node_count(), self.edge_count());
         for n in self.node_ids() {
             out.add_node(self.nodes[n.index()].clone());

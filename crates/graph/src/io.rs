@@ -90,10 +90,12 @@ pub fn from_edge_list(text: &str) -> Result<Graph<(), f64>, ParseError> {
         let a = parse_usize(fields[0])?;
         let b = parse_usize(fields[1])?;
         let w = if fields.len() == 3 {
-            fields[2].parse::<f64>().map_err(|_| ParseError::BadNumber {
-                line: line_no,
-                field: fields[2].to_string(),
-            })?
+            fields[2]
+                .parse::<f64>()
+                .map_err(|_| ParseError::BadNumber {
+                    line: line_no,
+                    field: fields[2].to_string(),
+                })?
         } else {
             1.0
         };
@@ -157,14 +159,23 @@ mod tests {
 
     #[test]
     fn parse_errors_are_located() {
-        assert_eq!(from_edge_list("0 1\nnonsense\n").unwrap_err(), ParseError::BadLine { line: 2 });
+        assert_eq!(
+            from_edge_list("0 1\nnonsense\n").unwrap_err(),
+            ParseError::BadLine { line: 2 }
+        );
         assert_eq!(
             from_edge_list("0 x").unwrap_err(),
-            ParseError::BadNumber { line: 1, field: "x".into() }
+            ParseError::BadNumber {
+                line: 1,
+                field: "x".into()
+            }
         );
         assert_eq!(
             from_edge_list("0 1 notafloat").unwrap_err(),
-            ParseError::BadNumber { line: 1, field: "notafloat".into() }
+            ParseError::BadNumber {
+                line: 1,
+                field: "notafloat".into()
+            }
         );
     }
 

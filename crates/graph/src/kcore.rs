@@ -100,8 +100,10 @@ mod tests {
     #[test]
     fn triangle_with_tail() {
         // Triangle {0,1,2} plus tail 2-3-4.
-        let g: Graph<(), ()> =
-            Graph::from_edges(5, vec![(0, 1, ()), (1, 2, ()), (0, 2, ()), (2, 3, ()), (3, 4, ())]);
+        let g: Graph<(), ()> = Graph::from_edges(
+            5,
+            vec![(0, 1, ()), (1, 2, ()), (0, 2, ()), (2, 3, ()), (3, 4, ())],
+        );
         let c = coreness(&g);
         assert_eq!(c[0], 2);
         assert_eq!(c[1], 2);
@@ -129,8 +131,7 @@ mod tests {
     #[test]
     fn coreness_at_most_degree() {
         // Star: hub degree n-1 but coreness 1.
-        let g: Graph<(), ()> =
-            Graph::from_edges(6, (1..6).map(|i| (0, i, ())).collect::<Vec<_>>());
+        let g: Graph<(), ()> = Graph::from_edges(6, (1..6).map(|i| (0, i, ())).collect::<Vec<_>>());
         let c = coreness(&g);
         assert!(c.iter().all(|&x| x == 1));
     }

@@ -33,7 +33,11 @@ impl SpanningForest {
 pub fn kruskal<N, E>(g: &Graph<N, E>, mut weight: impl FnMut(&E) -> f64) -> SpanningForest {
     let mut order: Vec<(f64, EdgeId, NodeId, NodeId)> =
         g.edges().map(|(e, a, b, w)| (weight(w), e, a, b)).collect();
-    order.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN weight in kruskal").then(x.1.cmp(&y.1)));
+    order.sort_by(|x, y| {
+        x.0.partial_cmp(&y.0)
+            .expect("NaN weight in kruskal")
+            .then(x.1.cmp(&y.1))
+    });
     let mut uf = UnionFind::new(g.node_count());
     let mut edges = Vec::new();
     let mut total = 0.0;
@@ -46,7 +50,11 @@ pub fn kruskal<N, E>(g: &Graph<N, E>, mut weight: impl FnMut(&E) -> f64) -> Span
             }
         }
     }
-    SpanningForest { edges, total_weight: total, components: uf.set_count() }
+    SpanningForest {
+        edges,
+        total_weight: total,
+        components: uf.set_count(),
+    }
 }
 
 /// Prim's algorithm from an explicit root. Only the root's component is
@@ -94,7 +102,11 @@ pub fn prim<N, E>(
     in_tree[root.index()] = true;
     let mut spanned = 1;
     for (u, e) in g.neighbors(root) {
-        heap.push(Entry { w: weight(g.edge_weight(e)), edge: e, to: u });
+        heap.push(Entry {
+            w: weight(g.edge_weight(e)),
+            edge: e,
+            to: u,
+        });
     }
     while let Some(Entry { w, edge, to }) = heap.pop() {
         if in_tree[to.index()] {
@@ -106,7 +118,11 @@ pub fn prim<N, E>(
         total += w;
         for (u, e) in g.neighbors(to) {
             if !in_tree[u.index()] {
-                heap.push(Entry { w: weight(g.edge_weight(e)), edge: e, to: u });
+                heap.push(Entry {
+                    w: weight(g.edge_weight(e)),
+                    edge: e,
+                    to: u,
+                });
             }
         }
     }

@@ -69,7 +69,10 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap; distances are finite non-NaN by
         // construction (asserted in `dijkstra`).
-        other.dist.partial_cmp(&self.dist).expect("NaN distance in Dijkstra heap")
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("NaN distance in Dijkstra heap")
     }
 }
 
@@ -95,7 +98,10 @@ pub fn dijkstra<N, E>(
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
         if done[v.index()] {
             continue;
@@ -103,7 +109,10 @@ pub fn dijkstra<N, E>(
         done[v.index()] = true;
         for (u, e) in g.neighbors(v) {
             let w = weight(e, g.edge_weight(e));
-            debug_assert!(w >= 0.0 && !w.is_nan(), "Dijkstra requires non-negative weights");
+            debug_assert!(
+                w >= 0.0 && !w.is_nan(),
+                "Dijkstra requires non-negative weights"
+            );
             let nd = d + w;
             if nd < dist[u.index()] {
                 dist[u.index()] = nd;
@@ -112,7 +121,11 @@ pub fn dijkstra<N, E>(
             }
         }
     }
-    ShortestPaths { dist, parent, source }
+    ShortestPaths {
+        dist,
+        parent,
+        source,
+    }
 }
 
 /// Bellman–Ford single-source distances. O(V·E); used as a slow oracle in
@@ -125,10 +138,8 @@ pub fn bellman_ford<N, E>(
     let n = g.node_count();
     let mut dist = vec![f64::INFINITY; n];
     dist[source.index()] = 0.0;
-    let edges: Vec<(NodeId, NodeId, f64)> = g
-        .edges()
-        .map(|(e, a, b, w)| (a, b, weight(e, w)))
-        .collect();
+    let edges: Vec<(NodeId, NodeId, f64)> =
+        g.edges().map(|(e, a, b, w)| (a, b, weight(e, w))).collect();
     for _ in 0..n.saturating_sub(1) {
         let mut changed = false;
         for &(a, b, w) in &edges {
@@ -157,7 +168,9 @@ pub fn all_pairs_dijkstra<N, E>(
     g: &Graph<N, E>,
     mut weight: impl FnMut(EdgeId, &E) -> f64,
 ) -> Vec<Vec<f64>> {
-    g.node_ids().map(|s| dijkstra(g, s, &mut weight).dist).collect()
+    g.node_ids()
+        .map(|s| dijkstra(g, s, &mut weight).dist)
+        .collect()
 }
 
 #[cfg(test)]
@@ -176,7 +189,10 @@ mod tests {
         let g = weighted_square();
         let sp = dijkstra(&g, NodeId(0), |_, w| *w);
         assert_eq!(sp.dist, vec![0.0, 1.0, 2.0, 3.0]);
-        assert_eq!(sp.path_to(NodeId(2)), Some(vec![NodeId(0), NodeId(1), NodeId(2)]));
+        assert_eq!(
+            sp.path_to(NodeId(2)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2)])
+        );
     }
 
     #[test]
@@ -198,9 +214,7 @@ mod tests {
         // Each edge must connect consecutive path nodes.
         for (i, e) in edges.iter().enumerate() {
             let (a, b) = g.edge_endpoints(*e);
-            assert!(
-                (a == nodes[i] && b == nodes[i + 1]) || (b == nodes[i] && a == nodes[i + 1])
-            );
+            assert!((a == nodes[i] && b == nodes[i + 1]) || (b == nodes[i] && a == nodes[i + 1]));
         }
     }
 

@@ -56,7 +56,9 @@ fn deflate(v: &mut [f64], basis: &[Vec<f64>]) {
 /// symmetric graphs.
 fn power_iteration(m: &[Vec<f64>], deflated: &[Vec<f64>]) -> (f64, Vec<f64>) {
     let n = m.len();
-    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7183).sin() * 0.5).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + (i as f64 * 0.7183).sin() * 0.5)
+        .collect();
     deflate(&mut v, deflated);
     normalize(&mut v);
     let mut next = vec![0.0; n];
@@ -131,7 +133,10 @@ pub fn top_adjacency_eigenvalues<N, E>(g: &Graph<N, E>, k: usize) -> Vec<f64> {
 
 /// Spectral radius (largest adjacency eigenvalue); 0 for the empty graph.
 pub fn spectral_radius<N, E>(g: &Graph<N, E>) -> f64 {
-    top_adjacency_eigenvalues(g, 1).first().copied().unwrap_or(0.0)
+    top_adjacency_eigenvalues(g, 1)
+        .first()
+        .copied()
+        .unwrap_or(0.0)
 }
 
 /// Algebraic connectivity: the second-smallest eigenvalue of the

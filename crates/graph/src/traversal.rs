@@ -104,7 +104,11 @@ pub fn connected_components<N, E>(g: &Graph<N, E>) -> Vec<usize> {
 
 /// Number of connected components (0 for the empty graph).
 pub fn component_count<N, E>(g: &Graph<N, E>) -> usize {
-    connected_components(g).iter().copied().max().map_or(0, |m| m + 1)
+    connected_components(g)
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1)
 }
 
 /// Whether the graph is connected. The empty graph counts as connected.
@@ -150,7 +154,14 @@ mod tests {
         // {0,1,2} triangle and {3,4,5} triangle, disconnected.
         Graph::from_edges(
             6,
-            vec![(0, 1, ()), (1, 2, ()), (0, 2, ()), (3, 4, ()), (4, 5, ()), (3, 5, ())],
+            vec![
+                (0, 1, ()),
+                (1, 2, ()),
+                (0, 2, ()),
+                (3, 4, ()),
+                (4, 5, ()),
+                (3, 5, ()),
+            ],
         )
     }
 
@@ -180,8 +191,10 @@ mod tests {
 
     #[test]
     fn bfs_tree_parents_form_shortest_paths() {
-        let g: Graph<(), ()> =
-            Graph::from_edges(5, vec![(0, 1, ()), (0, 2, ()), (1, 3, ()), (2, 3, ()), (3, 4, ())]);
+        let g: Graph<(), ()> = Graph::from_edges(
+            5,
+            vec![(0, 1, ()), (0, 2, ()), (1, 3, ()), (2, 3, ()), (3, 4, ())],
+        );
         let (dist, parent) = bfs_tree(&g, NodeId(0));
         assert_eq!(dist[4], Some(3));
         // Walk parents from 4 back to 0 and count hops.

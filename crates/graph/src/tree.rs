@@ -58,8 +58,16 @@ impl RootedTree {
                 children[p.index()].push(v);
             }
         }
-        let depth = dist.into_iter().map(|d| d.expect("checked connected")).collect();
-        Ok(RootedTree { root, parent, children, depth })
+        let depth = dist
+            .into_iter()
+            .map(|d| d.expect("checked connected"))
+            .collect();
+        Ok(RootedTree {
+            root,
+            parent,
+            children,
+            depth,
+        })
     }
 
     /// Starts an incremental tree containing only `root`.
@@ -70,7 +78,11 @@ impl RootedTree {
     /// with the root being id 0 — this matches how the growth models number
     /// arrivals.
     pub fn new_incremental(root: NodeId, capacity: usize) -> Self {
-        assert_eq!(root.index(), 0, "incremental trees must be rooted at node 0");
+        assert_eq!(
+            root.index(),
+            0,
+            "incremental trees must be rooted at node 0"
+        );
         let mut t = RootedTree {
             root,
             parent: Vec::with_capacity(capacity),
@@ -85,8 +97,16 @@ impl RootedTree {
 
     /// Attaches a new node (which must be the next dense id) under `parent`.
     pub fn attach(&mut self, node: NodeId, parent: NodeId) {
-        assert_eq!(node.index(), self.parent.len(), "nodes must be attached in id order");
-        assert!(parent.index() < self.parent.len(), "parent {:?} not in tree", parent);
+        assert_eq!(
+            node.index(),
+            self.parent.len(),
+            "nodes must be attached in id order"
+        );
+        assert!(
+            parent.index() < self.parent.len(),
+            "parent {:?} not in tree",
+            parent
+        );
         self.parent.push(Some(parent));
         self.children.push(Vec::new());
         self.depth.push(self.depth[parent.index()] + 1);
@@ -136,7 +156,9 @@ impl RootedTree {
 
     /// The undirected degree of every node.
     pub fn degree_sequence(&self) -> Vec<usize> {
-        (0..self.len() as u32).map(|i| self.undirected_degree(NodeId(i))).collect()
+        (0..self.len() as u32)
+            .map(|i| self.undirected_degree(NodeId(i)))
+            .collect()
     }
 
     /// Leaves (nodes with no children). The root is a leaf only in the
@@ -297,7 +319,10 @@ mod tests {
     fn path_to_root_walks_up() {
         let g = caterpillar();
         let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
-        assert_eq!(t.path_to_root(NodeId(4)), vec![NodeId(4), NodeId(3), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            t.path_to_root(NodeId(4)),
+            vec![NodeId(4), NodeId(3), NodeId(1), NodeId(0)]
+        );
         assert_eq!(t.hops_to_root(NodeId(4)), 3);
         assert_eq!(t.path_to_root(NodeId(0)), vec![NodeId(0)]);
     }

@@ -85,7 +85,9 @@ mod tests {
     #[test]
     fn triangle_is_fully_clustered() {
         let g: Graph<(), ()> = Graph::from_edges(3, vec![(0, 1, ()), (1, 2, ()), (0, 2, ())]);
-        assert!(local_clustering(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        assert!(local_clustering(&g)
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-12));
         assert!((mean_clustering(&g) - 1.0).abs() < 1e-12);
         assert!((transitivity(&g) - 1.0).abs() < 1e-12);
     }

@@ -26,7 +26,12 @@ pub fn summarize<N, E>(g: &Graph<N, E>) -> DegreeSummary {
 pub fn summarize_sample(degs: &[usize]) -> DegreeSummary {
     let n = degs.len();
     if n == 0 {
-        return DegreeSummary { mean: 0.0, max: 0, cv: 0.0, leaf_fraction: 0.0 };
+        return DegreeSummary {
+            mean: 0.0,
+            max: 0,
+            cv: 0.0,
+            leaf_fraction: 0.0,
+        };
     }
     let mean = degs.iter().sum::<usize>() as f64 / n as f64;
     let var = degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
@@ -86,8 +91,7 @@ mod tests {
 
     #[test]
     fn star_summary() {
-        let g: Graph<(), ()> =
-            Graph::from_edges(5, (1..5).map(|i| (0, i, ())).collect::<Vec<_>>());
+        let g: Graph<(), ()> = Graph::from_edges(5, (1..5).map(|i| (0, i, ())).collect::<Vec<_>>());
         let s = summarize(&g);
         assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
         assert_eq!(s.max, 4);
@@ -115,7 +119,9 @@ mod tests {
 
     #[test]
     fn ascii_plot_shape() {
-        let sample: Vec<usize> = (1..100).flat_map(|k| std::iter::repeat_n(k, 100 / k)).collect();
+        let sample: Vec<usize> = (1..100)
+            .flat_map(|k| std::iter::repeat_n(k, 100 / k))
+            .collect();
         let plot = ascii_ccdf(&sample, 40, 10);
         assert!(plot.contains('*'));
         let lines: Vec<&str> = plot.lines().collect();

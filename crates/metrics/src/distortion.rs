@@ -105,8 +105,10 @@ mod tests {
 
     #[test]
     fn cycle_distortion_above_one() {
-        let g: Graph<(), ()> =
-            Graph::from_edges(10, (0..10).map(|i| (i, (i + 1) % 10, ())).collect::<Vec<_>>());
+        let g: Graph<(), ()> = Graph::from_edges(
+            10,
+            (0..10).map(|i| (i, (i + 1) % 10, ())).collect::<Vec<_>>(),
+        );
         let d = distortion(&g);
         // BFS trees on C10 stretch cross-break pairs; the sampled mean
         // lands a bit above 1 (1.11 with the deterministic sample).

@@ -75,7 +75,11 @@ pub fn classify(sample: &[usize]) -> TailVerdict {
         (None, Some(_)) => TailClass::Exponential,
         (None, None) => TailClass::Inconclusive,
     };
-    TailVerdict { class, power, exponential }
+    TailVerdict {
+        class,
+        power,
+        exponential,
+    }
 }
 
 impl std::fmt::Display for TailClass {

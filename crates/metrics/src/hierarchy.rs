@@ -24,7 +24,11 @@ pub fn gini(sample: &[f64]) -> f64 {
         return 0.0;
     }
     // Gini = (2·Σ i·x_i) / (n·Σ x) − (n+1)/n with 1-based i on sorted x.
-    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
     (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
 }
 
@@ -43,13 +47,19 @@ pub fn hierarchy<N, E>(g: &Graph<N, E>) -> HierarchySummary {
     let b = betweenness(g);
     let total: f64 = b.iter().sum();
     if b.len() < 3 || total <= 0.0 {
-        return HierarchySummary { betweenness_gini: 0.0, top_decile_share: 0.0 };
+        return HierarchySummary {
+            betweenness_gini: 0.0,
+            top_decile_share: 0.0,
+        };
     }
     let mut sorted = b.clone();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
     let k = (b.len() / 10).max(1);
     let top: f64 = sorted.iter().take(k).sum();
-    HierarchySummary { betweenness_gini: gini(&b), top_decile_share: top / total }
+    HierarchySummary {
+        betweenness_gini: gini(&b),
+        top_decile_share: top / total,
+    }
 }
 
 #[cfg(test)]
@@ -86,10 +96,16 @@ mod tests {
 
     #[test]
     fn cycle_is_flat() {
-        let cycle: Graph<(), ()> =
-            Graph::from_edges(20, (0..20).map(|i| (i, (i + 1) % 20, ())).collect::<Vec<_>>());
+        let cycle: Graph<(), ()> = Graph::from_edges(
+            20,
+            (0..20).map(|i| (i, (i + 1) % 20, ())).collect::<Vec<_>>(),
+        );
         let h = hierarchy(&cycle);
-        assert!(h.betweenness_gini.abs() < 1e-9, "cycle gini {}", h.betweenness_gini);
+        assert!(
+            h.betweenness_gini.abs() < 1e-9,
+            "cycle gini {}",
+            h.betweenness_gini
+        );
         // Top 10% of a uniform distribution carries ~10%.
         assert!((h.top_decile_share - 0.1).abs() < 0.01);
     }
@@ -100,9 +116,7 @@ mod tests {
             Graph::from_edges(20, (1..20).map(|i| (0, i, ())).collect::<Vec<_>>());
         let path: Graph<(), ()> =
             Graph::from_edges(20, (0..19).map(|i| (i, i + 1, ())).collect::<Vec<_>>());
-        assert!(
-            hierarchy(&star).betweenness_gini > hierarchy(&path).betweenness_gini
-        );
+        assert!(hierarchy(&star).betweenness_gini > hierarchy(&path).betweenness_gini);
     }
 
     #[test]

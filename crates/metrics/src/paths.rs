@@ -34,7 +34,13 @@ fn sources<N, E>(g: &Graph<N, E>) -> (Vec<NodeId>, bool) {
         (g.node_ids().collect(), true)
     } else {
         let stride = n / SAMPLE_SOURCES;
-        ((0..n).step_by(stride.max(1)).map(|i| NodeId(i as u32)).collect(), false)
+        (
+            (0..n)
+                .step_by(stride.max(1))
+                .map(|i| NodeId(i as u32))
+                .collect(),
+            false,
+        )
     }
 }
 
@@ -61,7 +67,11 @@ pub fn path_metrics<N, E>(g: &Graph<N, E>) -> PathMetrics {
         }
     }
     PathMetrics {
-        mean_distance: if count > 0 { total as f64 / count as f64 } else { 0.0 },
+        mean_distance: if count > 0 {
+            total as f64 / count as f64
+        } else {
+            0.0
+        },
         diameter,
         hop_histogram: hist,
         exact,
@@ -93,8 +103,7 @@ mod tests {
 
     #[test]
     fn star_diameter_two() {
-        let g: Graph<(), ()> =
-            Graph::from_edges(6, (1..6).map(|i| (0, i, ())).collect::<Vec<_>>());
+        let g: Graph<(), ()> = Graph::from_edges(6, (1..6).map(|i| (0, i, ())).collect::<Vec<_>>());
         let m = path_metrics(&g);
         assert_eq!(m.diameter, 2);
     }

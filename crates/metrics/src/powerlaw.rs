@@ -42,8 +42,17 @@ pub fn least_squares(points: &[(f64, f64)]) -> Option<Fit> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy <= 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(Fit { exponent: slope.abs(), intercept, r_squared, points: n })
+    let r_squared = if syy <= 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(Fit {
+        exponent: slope.abs(),
+        intercept,
+        r_squared,
+        points: n,
+    })
 }
 
 /// CCDF power-law fit of a degree sample. Zero degrees are excluded
@@ -169,7 +178,11 @@ mod tests {
             .collect();
         let fit = fit_ccdf(&sample).unwrap();
         // Power-law fits of exponential data leave visible curvature.
-        assert!(fit.r_squared < 0.97, "r² {} suspiciously high", fit.r_squared);
+        assert!(
+            fit.r_squared < 0.97,
+            "r² {} suspiciously high",
+            fit.r_squared
+        );
     }
 
     #[test]

@@ -79,8 +79,7 @@ mod tests {
     #[test]
     fn uses_largest_component() {
         // A triangle plus two isolated nodes: resilience of the triangle.
-        let mut g: Graph<(), ()> =
-            Graph::from_edges(3, vec![(0, 1, ()), (1, 2, ()), (0, 2, ())]);
+        let mut g: Graph<(), ()> = Graph::from_edges(3, vec![(0, 1, ()), (1, 2, ()), (0, 2, ())]);
         g.add_node(());
         g.add_node(());
         assert!((mean_pairwise_connectivity(&g) - 2.0).abs() < 1e-12);

@@ -48,7 +48,10 @@ pub fn degradation<N: Clone, E: Clone>(
     if n == 0 {
         return fractions
             .iter()
-            .map(|&f| DegradationPoint { removed_fraction: f, giant_fraction: 0.0 })
+            .map(|&f| DegradationPoint {
+                removed_fraction: f,
+                giant_fraction: 0.0,
+            })
             .collect();
     }
     let mut order: Vec<usize> = (0..n).collect();
@@ -107,7 +110,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let pts = degradation(&g, RemovalPolicy::DegreeAttack, &[0.01], &mut rng);
         // Removing the hub leaves isolated leaves.
-        assert!(pts[0].giant_fraction <= 0.02, "giant {}", pts[0].giant_fraction);
+        assert!(
+            pts[0].giant_fraction <= 0.02,
+            "giant {}",
+            pts[0].giant_fraction
+        );
     }
 
     #[test]
@@ -133,8 +140,12 @@ mod tests {
     fn cycle_is_attack_insensitive() {
         let g = cycle(100);
         let fractions = [0.05];
-        let attack =
-            degradation(&g, RemovalPolicy::DegreeAttack, &fractions, &mut StdRng::seed_from_u64(3));
+        let attack = degradation(
+            &g,
+            RemovalPolicy::DegreeAttack,
+            &fractions,
+            &mut StdRng::seed_from_u64(3),
+        );
         // All degrees equal: attacking is no worse than failure order.
         assert!(attack[0].giant_fraction > 0.5);
     }
@@ -154,16 +165,24 @@ mod tests {
     #[test]
     fn full_removal_empties_graph() {
         let g = cycle(10);
-        let pts =
-            degradation(&g, RemovalPolicy::DegreeAttack, &[1.0], &mut StdRng::seed_from_u64(5));
+        let pts = degradation(
+            &g,
+            RemovalPolicy::DegreeAttack,
+            &[1.0],
+            &mut StdRng::seed_from_u64(5),
+        );
         assert_eq!(pts[0].giant_fraction, 0.0);
     }
 
     #[test]
     fn empty_graph_degenerate() {
         let g: Graph<(), ()> = Graph::new();
-        let pts =
-            degradation(&g, RemovalPolicy::RandomFailure, &[0.5], &mut StdRng::seed_from_u64(6));
+        let pts = degradation(
+            &g,
+            RemovalPolicy::RandomFailure,
+            &[0.5],
+            &mut StdRng::seed_from_u64(6),
+        );
         assert_eq!(pts[0].giant_fraction, 0.0);
         assert_eq!(robustness_score(&[]), 0.0);
     }
@@ -172,6 +191,11 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_fraction_rejected() {
         let g = star(10);
-        degradation(&g, RemovalPolicy::DegreeAttack, &[1.5], &mut StdRng::seed_from_u64(7));
+        degradation(
+            &g,
+            RemovalPolicy::DegreeAttack,
+            &[1.5],
+            &mut StdRng::seed_from_u64(7),
+        );
     }
 }

@@ -50,10 +50,8 @@ pub fn degree_surrogate<N: Clone, E>(
     let m = g.edge_count();
     let mut edges: Vec<(u32, u32)> = g.edges().map(|(_, a, b, _)| (a.0, b.0)).collect();
     if m >= 2 {
-        let mut present: std::collections::HashSet<(u32, u32)> = edges
-            .iter()
-            .map(|&(a, b)| (a.min(b), a.max(b)))
-            .collect();
+        let mut present: std::collections::HashSet<(u32, u32)> =
+            edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         let attempts = m * swaps_per_edge;
         for _ in 0..attempts {
             let i = rng.random_range(0..m);

@@ -48,7 +48,11 @@ impl AsNetwork {
                 }
             }
         }
-        AsNetwork { providers, customers, peers }
+        AsNetwork {
+            providers,
+            customers,
+            peers,
+        }
     }
 
     /// Number of ASes.
@@ -77,8 +81,10 @@ impl AsNetwork {
         queue.push_back((src, 0usize));
         while let Some((a, phase)) = queue.pop_front() {
             let d = dist[a][phase].expect("queued states have distances");
-            let relax = |b: usize, new_phase: usize, queue: &mut VecDeque<(usize, usize)>,
-                             dist: &mut Vec<[Option<u32>; 3]>| {
+            let relax = |b: usize,
+                         new_phase: usize,
+                         queue: &mut VecDeque<(usize, usize)>,
+                         dist: &mut Vec<[Option<u32>; 3]>| {
                 if dist[b][new_phase].is_none() {
                     dist[b][new_phase] = Some(d + 1);
                     queue.push_back((b, new_phase));
@@ -184,8 +190,16 @@ pub fn policy_inflation(net: &AsNetwork) -> InflationStats {
         } else {
             1.0
         },
-        mean_inflation: if compared > 0 { inflation_sum / compared as f64 } else { 1.0 },
-        inflated_fraction: if compared > 0 { inflated as f64 / compared as f64 } else { 0.0 },
+        mean_inflation: if compared > 0 {
+            inflation_sum / compared as f64
+        } else {
+            1.0
+        },
+        inflated_fraction: if compared > 0 {
+            inflated as f64 / compared as f64
+        } else {
+            0.0
+        },
         max_inflation,
     }
 }
@@ -282,7 +296,11 @@ mod tests {
 
     #[test]
     fn empty_network() {
-        let net = AsNetwork { providers: vec![], customers: vec![], peers: vec![] };
+        let net = AsNetwork {
+            providers: vec![],
+            customers: vec![],
+            peers: vec![],
+        };
         assert!(net.is_empty());
         let stats = policy_inflation(&net);
         assert_eq!(stats.mean_inflation, 1.0);

@@ -99,7 +99,11 @@ pub fn single_link_failures<N: Clone, E: Clone>(
     FailureSummary {
         stranding_fraction: stranded_failures as f64 / simulated as f64,
         worst_stranded_fraction: worst_stranded,
-        mean_stretch: if stretch_count > 0 { stretch_sum / stretch_count as f64 } else { 1.0 },
+        mean_stretch: if stretch_count > 0 {
+            stretch_sum / stretch_count as f64
+        } else {
+            1.0
+        },
         impacts,
     }
 }
@@ -110,15 +114,18 @@ mod tests {
     use hot_graph::graph::{Graph, NodeId};
 
     fn d(src: usize, dst: usize, amount: f64) -> Demand {
-        Demand { src: NodeId(src as u32), dst: NodeId(dst as u32), amount }
+        Demand {
+            src: NodeId(src as u32),
+            dst: NodeId(dst as u32),
+            amount,
+        }
     }
 
     #[test]
     fn tree_strands_every_failure() {
         // Path 0-1-2 with end-to-end demand: both links are cuts.
         let g: Graph<(), f64> = Graph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]);
-        let summary =
-            single_link_failures(&g, &[d(0, 2, 3.0)], IgpMetric::HopCount, |_, w| *w);
+        let summary = single_link_failures(&g, &[d(0, 2, 3.0)], IgpMetric::HopCount, |_, w| *w);
         assert_eq!(summary.impacts.len(), 2);
         assert!((summary.stranding_fraction - 1.0).abs() < 1e-12);
         assert!((summary.worst_stranded_fraction - 1.0).abs() < 1e-12);
@@ -128,10 +135,12 @@ mod tests {
     fn cycle_reroutes_everything() {
         let g: Graph<(), f64> =
             Graph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
-        let summary =
-            single_link_failures(&g, &[d(0, 1, 1.0), d(1, 3, 1.0)], IgpMetric::HopCount, |_, w| {
-                *w
-            });
+        let summary = single_link_failures(
+            &g,
+            &[d(0, 1, 1.0), d(1, 3, 1.0)],
+            IgpMetric::HopCount,
+            |_, w| *w,
+        );
         assert_eq!(summary.stranding_fraction, 0.0);
         // Re-routing around a 4-cycle costs extra hops.
         assert!(summary.mean_stretch > 1.0);
@@ -142,8 +151,7 @@ mod tests {
     fn idle_links_not_simulated() {
         // Triangle but demand only between 0 and 1: edge (1,2)/(0,2)
         // carry nothing under shortest path.
-        let g: Graph<(), f64> =
-            Graph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        let g: Graph<(), f64> = Graph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
         let summary = single_link_failures(&g, &[d(0, 1, 1.0)], IgpMetric::HopCount, |_, w| *w);
         assert_eq!(summary.impacts.len(), 1);
         assert_eq!(summary.impacts[0].link, hot_graph::graph::EdgeId(0));
@@ -155,11 +163,17 @@ mod tests {
     #[test]
     fn affected_traffic_recorded() {
         let g: Graph<(), f64> = Graph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]);
-        let summary =
-            single_link_failures(&g, &[d(0, 2, 2.0), d(1, 2, 1.5)], IgpMetric::HopCount, |_, w| {
-                *w
-            });
-        let link1 = summary.impacts.iter().find(|i| i.link.index() == 1).unwrap();
+        let summary = single_link_failures(
+            &g,
+            &[d(0, 2, 2.0), d(1, 2, 1.5)],
+            IgpMetric::HopCount,
+            |_, w| *w,
+        );
+        let link1 = summary
+            .impacts
+            .iter()
+            .find(|i| i.link.index() == 1)
+            .unwrap();
         assert!((link1.affected_traffic - 3.5).abs() < 1e-12);
     }
 }

@@ -75,8 +75,7 @@ impl RoutingOutcome {
         if self.link_load.is_empty() {
             return 0.0;
         }
-        self.link_load.iter().filter(|&&l| l == 0.0).count() as f64
-            / self.link_load.len() as f64
+        self.link_load.iter().filter(|&&l| l == 0.0).count() as f64 / self.link_load.len() as f64
     }
 }
 
@@ -118,15 +117,24 @@ pub fn route<N, E>(
             }
         }
     }
-    RoutingOutcome { link_load, unrouted, traffic_hops, routed_traffic }
+    RoutingOutcome {
+        link_load,
+        unrouted,
+        traffic_hops,
+        routed_traffic,
+    }
 }
 
 /// Gini coefficient of the positive link loads — the load-concentration
 /// scalar used in the experiments (0 = spread evenly, → 1 = all transit
 /// on a few trunks).
 pub fn load_gini(outcome: &RoutingOutcome) -> f64 {
-    let positive: Vec<f64> =
-        outcome.link_load.iter().copied().filter(|&l| l > 0.0).collect();
+    let positive: Vec<f64> = outcome
+        .link_load
+        .iter()
+        .copied()
+        .filter(|&l| l > 0.0)
+        .collect();
     gini(&positive)
 }
 
@@ -141,7 +149,11 @@ fn gini(sample: &[f64]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
     (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
 }
 
@@ -155,13 +167,22 @@ mod tests {
     }
 
     fn d(src: usize, dst: usize, amount: f64) -> Demand {
-        Demand { src: NodeId(src as u32), dst: NodeId(dst as u32), amount }
+        Demand {
+            src: NodeId(src as u32),
+            dst: NodeId(dst as u32),
+            amount,
+        }
     }
 
     #[test]
     fn loads_accumulate_along_paths() {
         let g = path4();
-        let out = route(&g, &[d(0, 3, 5.0), d(1, 2, 2.0)], IgpMetric::HopCount, |_, w| *w);
+        let out = route(
+            &g,
+            &[d(0, 3, 5.0), d(1, 2, 2.0)],
+            IgpMetric::HopCount,
+            |_, w| *w,
+        );
         assert_eq!(out.link_load, vec![5.0, 7.0, 5.0]);
         assert!(out.unrouted.is_empty());
         assert!((out.routed_traffic - 7.0).abs() < 1e-12);
@@ -188,7 +209,12 @@ mod tests {
     #[test]
     fn disconnected_demand_reported() {
         let g: Graph<(), f64> = Graph::from_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]);
-        let out = route(&g, &[d(0, 3, 4.0), d(0, 1, 1.0)], IgpMetric::HopCount, |_, w| *w);
+        let out = route(
+            &g,
+            &[d(0, 3, 4.0), d(0, 1, 1.0)],
+            IgpMetric::HopCount,
+            |_, w| *w,
+        );
         assert_eq!(out.unrouted.len(), 1);
         assert_eq!(out.unrouted[0].amount, 4.0);
         assert!((out.routed_traffic - 1.0).abs() < 1e-12);

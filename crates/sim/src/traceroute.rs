@@ -96,7 +96,11 @@ pub fn infer_map<N, E>(
     let nodes_obs = node_seen.iter().filter(|&&s| s).count();
     let edges_obs = edge_seen.iter().filter(|&&s| s).count();
     InferredMap {
-        node_coverage: if n > 0 { nodes_obs as f64 / n as f64 } else { 0.0 },
+        node_coverage: if n > 0 {
+            nodes_obs as f64 / n as f64
+        } else {
+            0.0
+        },
         edge_coverage: if truth.edge_count() > 0 {
             edges_obs as f64 / truth.edge_count() as f64
         } else {
@@ -127,7 +131,13 @@ mod tests {
     fn square_diag() -> Graph<(), f64> {
         Graph::from_edges(
             4,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 0.5)],
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 0, 1.0),
+                (0, 2, 0.5),
+            ],
         )
     }
 

@@ -25,7 +25,10 @@ fn main() {
         ("star", greedy::star(&tiny).total_cost(&tiny)),
         ("mst-route", greedy::mst_route(&tiny).total_cost(&tiny)),
         ("mmp", mmp::solve(&tiny, &mut rng).total_cost(&tiny)),
-        ("mmp+ls", greedy::mmp_plus_improve(&tiny, &mut rng, 500).final_cost),
+        (
+            "mmp+ls",
+            greedy::mmp_plus_improve(&tiny, &mut rng, 500).final_cost,
+        ),
     ] {
         eprintln!("{:<10} cost {:>8.2}  ratio {:.3}", name, c, c / opt);
     }
@@ -43,9 +46,17 @@ fn main() {
         |v, _| {
             let p = metro.node_point(v.index());
             if v.index() == 0 {
-                format!("label=\"CO\", shape=doublecircle, pos=\"{:.3},{:.3}!\"", p.x * 10.0, p.y * 10.0)
+                format!(
+                    "label=\"CO\", shape=doublecircle, pos=\"{:.3},{:.3}!\"",
+                    p.x * 10.0,
+                    p.y * 10.0
+                )
             } else {
-                format!("label=\"\", shape=point, pos=\"{:.3},{:.3}!\"", p.x * 10.0, p.y * 10.0)
+                format!(
+                    "label=\"\", shape=point, pos=\"{:.3},{:.3}!\"",
+                    p.x * 10.0,
+                    p.y * 10.0
+                )
             }
         },
         |e, _| {

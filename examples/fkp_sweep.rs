@@ -13,11 +13,24 @@ use rand::SeedableRng;
 fn main() {
     let n = 4000;
     for (alpha, expectation) in [
-        (0.5, "below 1/sqrt(2): every arrival attaches to the root -> star"),
-        (8.0, "trade-off window: hubs at many scales -> power-law-ish tail"),
-        (4000.0, "distance dominates: nearest-neighbor tree -> exponential tail"),
+        (
+            0.5,
+            "below 1/sqrt(2): every arrival attaches to the root -> star",
+        ),
+        (
+            8.0,
+            "trade-off window: hubs at many scales -> power-law-ish tail",
+        ),
+        (
+            4000.0,
+            "distance dominates: nearest-neighbor tree -> exponential tail",
+        ),
     ] {
-        let config = FkpConfig { n, alpha, ..FkpConfig::default() };
+        let config = FkpConfig {
+            n,
+            alpha,
+            ..FkpConfig::default()
+        };
         let topo = fkp::grow(&config, &mut StdRng::seed_from_u64(7));
         let degrees = topo.degree_sequence();
         let class = fkp::classify(&topo);

@@ -15,7 +15,11 @@ fn main() {
     let mut reports = Vec::new();
     // HOT-style: FKP in the trade-off window (heavy-tailed by optimization).
     let topo = fkp::grow(
-        &FkpConfig { n, alpha: 10.0, ..FkpConfig::default() },
+        &FkpConfig {
+            n,
+            alpha: 10.0,
+            ..FkpConfig::default()
+        },
         &mut StdRng::seed_from_u64(1),
     );
     reports.push(MetricReport::compute("fkp(hot)", &topo.to_graph()));
@@ -32,7 +36,10 @@ fn main() {
     reports.push(MetricReport::compute(
         "waxman",
         &waxman::generate(
-            &waxman::WaxmanConfig { n, ..waxman::WaxmanConfig::default() },
+            &waxman::WaxmanConfig {
+                n,
+                ..waxman::WaxmanConfig::default()
+            },
             &mut StdRng::seed_from_u64(4),
         ),
     ));

@@ -14,7 +14,10 @@ use rand::SeedableRng;
 
 fn main() {
     let census = Census::synthesize(
-        &CensusConfig { n_cities: 25, ..CensusConfig::default() },
+        &CensusConfig {
+            n_cities: 25,
+            ..CensusConfig::default()
+        },
         &mut StdRng::seed_from_u64(11),
     );
     let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
@@ -24,7 +27,10 @@ fn main() {
         tier1_count: 3,
         transit_per_isp: 2,
         customers_per_pop: 10,
-        isp_template: IspConfig { max_router_degree: 12, ..IspConfig::default() },
+        isp_template: IspConfig {
+            max_router_degree: 12,
+            ..IspConfig::default()
+        },
         ..InternetConfig::default()
     };
     let net = generate_internet(&census, &traffic, &config, &mut StdRng::seed_from_u64(12));

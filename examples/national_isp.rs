@@ -12,11 +12,18 @@ use rand::SeedableRng;
 fn main() {
     // Geography: 50 Zipf-ranked cities clustered into metro corridors.
     let census = Census::synthesize(
-        &CensusConfig { n_cities: 50, ..CensusConfig::default() },
+        &CensusConfig {
+            n_cities: 50,
+            ..CensusConfig::default()
+        },
         &mut StdRng::seed_from_u64(3),
     );
     let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
-    println!("census: {} cities, top city population {:.0}", census.cities.len(), census.cities[0].population);
+    println!(
+        "census: {} cities, top city population {:.0}",
+        census.cities.len(),
+        census.cities[0].population
+    );
     let heaviest = traffic.ranked_pairs()[0];
     println!(
         "heaviest traffic pair: city {} <-> city {} ({:.0} units)",
@@ -25,7 +32,10 @@ fn main() {
     for formulation in [
         Formulation::CostBased,
         Formulation::ProfitBased {
-            revenue: RevenueModel::PerUnitDemand { base: 250.0, per_unit: 15.0 },
+            revenue: RevenueModel::PerUnitDemand {
+                base: 250.0,
+                per_unit: 15.0,
+            },
         },
     ] {
         let config = IspConfig {
@@ -46,7 +56,10 @@ fn main() {
             isp.total_length()
         );
         if isp.rejected_customers > 0 {
-            println!("{} customers were unprofitable and not served", isp.rejected_customers);
+            println!(
+                "{} customers were unprofitable and not served",
+                isp.rejected_customers
+            );
         }
         let report = MetricReport::compute(formulation.name(), &isp.graph);
         println!("{}", MetricReport::table(std::slice::from_ref(&report)));

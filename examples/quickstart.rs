@@ -25,7 +25,11 @@ fn main() {
     // 2. A metro: 120 customers scattered around a central office.
     let cost = LinkCost::cables_only(catalog);
     let instance = Instance::random_uniform(120, 20.0, cost, &mut rng);
-    println!("\ninstance: {} customers, {:.0} total demand", instance.n_customers(), instance.total_demand());
+    println!(
+        "\ninstance: {} customers, {:.0} total demand",
+        instance.n_customers(),
+        instance.total_demand()
+    );
     // 3. Solve: the randomized incremental approximation, then local search.
     let outcome = greedy::mmp_plus_improve(&instance, &mut rng, 2000);
     println!(
@@ -34,10 +38,17 @@ fn main() {
     );
     // Compare against the no-aggregation star design.
     let star_cost = greedy::star(&instance).total_cost(&instance);
-    println!("direct-star design would cost {:.1} ({:.2}x)", star_cost, star_cost / outcome.final_cost);
+    println!(
+        "direct-star design would cost {:.1} ({:.2}x)",
+        star_cost,
+        star_cost / outcome.final_cost
+    );
     // 4. Inspect the build.
     let report = build_report(&instance, &outcome.solution);
-    println!("\nbuild: {:.2} fiber-km, mean {:.1} hops to the core", report.total_length, report.mean_hops);
+    println!(
+        "\nbuild: {:.2} fiber-km, mean {:.1} hops to the core",
+        report.total_length, report.mean_hops
+    );
     println!("cable-km by type:");
     for (i, km) in report.cable_km.iter().enumerate() {
         if *km > 0.0 {
@@ -48,5 +59,9 @@ fn main() {
     //    distributed — a by-product of cost optimization, not a target.
     let degrees = outcome.solution.degree_sequence();
     let verdict = hotgen::metrics::expfit::classify(&degrees);
-    println!("\ndegree tail: {} (max degree {})", verdict.class, degrees.iter().max().unwrap());
+    println!(
+        "\ndegree tail: {} (max degree {})",
+        verdict.class,
+        degrees.iter().max().unwrap()
+    );
 }

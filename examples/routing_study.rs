@@ -14,11 +14,18 @@ use rand::SeedableRng;
 
 fn main() {
     let census = Census::synthesize(
-        &CensusConfig { n_cities: 30, ..CensusConfig::default() },
+        &CensusConfig {
+            n_cities: 30,
+            ..CensusConfig::default()
+        },
         &mut StdRng::seed_from_u64(21),
     );
     let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
-    let config = IspConfig { n_pops: 8, total_customers: 300, ..IspConfig::default() };
+    let config = IspConfig {
+        n_pops: 8,
+        total_customers: 300,
+        ..IspConfig::default()
+    };
     let isp = generate_isp(&census, &traffic, &config, &mut StdRng::seed_from_u64(22));
     println!(
         "ISP: {} routers, {} links",

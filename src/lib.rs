@@ -49,7 +49,9 @@ pub use hot_sim as sim;
 
 /// The most commonly used items, for `use hotgen::prelude::*`.
 pub mod prelude {
-    pub use hot_core::buyatbulk::{greedy, mmp, problem::Customer, problem::Instance, AccessNetwork};
+    pub use hot_core::buyatbulk::{
+        greedy, mmp, problem::Customer, problem::Instance, AccessNetwork,
+    };
     pub use hot_core::fkp::{self, Centrality, FkpConfig};
     pub use hot_core::formulation::Formulation;
     pub use hot_core::isp::backbone::BackboneConfig;

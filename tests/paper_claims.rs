@@ -12,7 +12,11 @@ use rand::SeedableRng;
 /// §3.1 / FKP: alpha below 1/sqrt(2) yields a star.
 #[test]
 fn claim_fkp_small_alpha_star() {
-    let config = FkpConfig { n: 500, alpha: 0.5, ..FkpConfig::default() };
+    let config = FkpConfig {
+        n: 500,
+        alpha: 0.5,
+        ..FkpConfig::default()
+    };
     let topo = fkp::grow(&config, &mut StdRng::seed_from_u64(1));
     assert_eq!(fkp::classify(&topo), fkp::TopologyClass::Star);
 }
@@ -22,17 +26,33 @@ fn claim_fkp_small_alpha_star() {
 #[test]
 fn claim_fkp_regime_transition() {
     let hubs = fkp::grow(
-        &FkpConfig { n: 3000, alpha: 8.0, ..FkpConfig::default() },
+        &FkpConfig {
+            n: 3000,
+            alpha: 8.0,
+            ..FkpConfig::default()
+        },
         &mut StdRng::seed_from_u64(2),
     );
     let distance = fkp::grow(
-        &FkpConfig { n: 3000, alpha: 3000.0, ..FkpConfig::default() },
+        &FkpConfig {
+            n: 3000,
+            alpha: 3000.0,
+            ..FkpConfig::default()
+        },
         &mut StdRng::seed_from_u64(2),
     );
     let hub_max = hubs.degree_sequence().into_iter().max().unwrap();
     let dist_max = distance.degree_sequence().into_iter().max().unwrap();
-    assert!(hub_max > 10 * dist_max, "hub {} vs distance {}", hub_max, dist_max);
-    assert_eq!(classify(&distance.degree_sequence()).class, TailClass::Exponential);
+    assert!(
+        hub_max > 10 * dist_max,
+        "hub {} vs distance {}",
+        hub_max,
+        dist_max
+    );
+    assert_eq!(
+        classify(&distance.degree_sequence()).class,
+        TailClass::Exponential
+    );
 }
 
 /// §4.2, the headline: MMP buy-at-bulk with the realistic catalog yields
@@ -62,7 +82,10 @@ fn claim_plr_optimization_creates_heavy_tails() {
         resolution: 50_000,
     };
     let hot = plr::solve(&base);
-    let uniform = plr::solve(&PlrConfig { design: Design::UniformGrid, ..base });
+    let uniform = plr::solve(&PlrConfig {
+        design: Design::UniformGrid,
+        ..base
+    });
     assert!(hot.expected_loss() < uniform.expected_loss());
     // Tail heaviness via max/median cell loss.
     let spread = |s: &hotgen::core::plr::PlrSolution| {
@@ -78,17 +101,26 @@ fn claim_plr_optimization_creates_heavy_tails() {
 fn claim_redundancy_breaks_tree() {
     use hotgen::core::isp::backbone::{design, BackboneConfig};
     let mut rng = StdRng::seed_from_u64(3);
-    let pops: Vec<Point> =
-        (0..10).map(|_| BoundingBox::unit().sample_uniform(&mut rng)).collect();
+    let pops: Vec<Point> = (0..10)
+        .map(|_| BoundingBox::unit().sample_uniform(&mut rng))
+        .collect();
     let tree = design(
         &pops,
         |_, _| 1.0,
-        &BackboneConfig { redundancy: false, shortcut_pairs: 0, ..Default::default() },
+        &BackboneConfig {
+            redundancy: false,
+            shortcut_pairs: 0,
+            ..Default::default()
+        },
     );
     let mesh = design(
         &pops,
         |_, _| 1.0,
-        &BackboneConfig { redundancy: true, shortcut_pairs: 0, ..Default::default() },
+        &BackboneConfig {
+            redundancy: true,
+            shortcut_pairs: 0,
+            ..Default::default()
+        },
     );
     assert_eq!(tree.edges.len(), 9); // spanning tree
     assert!(mesh.edges.len() > 9); // tree is gone
@@ -99,7 +131,10 @@ fn claim_redundancy_breaks_tree() {
 #[test]
 fn claim_as_vs_router_degree_laws() {
     let census = Census::synthesize(
-        &CensusConfig { n_cities: 15, ..CensusConfig::default() },
+        &CensusConfig {
+            n_cities: 15,
+            ..CensusConfig::default()
+        },
         &mut StdRng::seed_from_u64(4),
     );
     let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
@@ -129,7 +164,11 @@ fn claim_as_vs_router_degree_laws() {
 fn claim_robust_yet_fragile() {
     use hotgen::metrics::robustness::{degradation, robustness_score, RemovalPolicy};
     let topo = fkp::grow(
-        &FkpConfig { n: 800, alpha: 10.0, ..FkpConfig::default() },
+        &FkpConfig {
+            n: 800,
+            alpha: 10.0,
+            ..FkpConfig::default()
+        },
         &mut StdRng::seed_from_u64(6),
     );
     let g = topo.to_graph();
@@ -155,7 +194,11 @@ fn claim_robust_yet_fragile() {
 fn claim_matched_tail_unmatched_structure() {
     use hotgen::baselines::ba;
     let fkp_graph = fkp::grow(
-        &FkpConfig { n: 800, alpha: 10.0, ..FkpConfig::default() },
+        &FkpConfig {
+            n: 800,
+            alpha: 10.0,
+            ..FkpConfig::default()
+        },
         &mut StdRng::seed_from_u64(8),
     )
     .to_graph();

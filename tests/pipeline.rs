@@ -10,7 +10,10 @@ use rand::SeedableRng;
 
 fn geography(seed: u64) -> (Census, TrafficMatrix) {
     let census = Census::synthesize(
-        &CensusConfig { n_cities: 20, ..CensusConfig::default() },
+        &CensusConfig {
+            n_cities: 20,
+            ..CensusConfig::default()
+        },
         &mut StdRng::seed_from_u64(seed),
     );
     let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
@@ -20,7 +23,11 @@ fn geography(seed: u64) -> (Census, TrafficMatrix) {
 #[test]
 fn census_to_isp_to_metrics() {
     let (census, traffic) = geography(1);
-    let config = IspConfig { n_pops: 5, total_customers: 120, ..IspConfig::default() };
+    let config = IspConfig {
+        n_pops: 5,
+        total_customers: 120,
+        ..IspConfig::default()
+    };
     let isp = generate_isp(&census, &traffic, &config, &mut StdRng::seed_from_u64(2));
     assert!(is_connected(&isp.graph));
     // Hierarchy levels all present.
@@ -54,7 +61,7 @@ fn buyatbulk_full_stack_consistency() {
     assert!((report.total_cost - solution.total_cost(&instance)).abs() < 1e-6);
     let km_sum: f64 = report.cable_km.iter().sum();
     assert!(km_sum >= report.total_length - 1e-9); // instances >= 1 per link
-    // Every link's installed capacity covers its flow.
+                                                   // Every link's installed capacity covers its flow.
     for link in &report.links {
         assert!(link.utilization <= 1.0 + 1e-9);
         assert!(link.flow > 0.0);
@@ -73,7 +80,12 @@ fn heuristics_bounded_by_exact_on_tiny_instances() {
         assert!(mmp_cost >= opt - 1e-9);
         assert!(ls >= opt - 1e-9);
         // Empirical constant factor stays modest (MMP's guarantee).
-        assert!(mmp_cost / opt < 2.0, "seed {}: ratio {}", seed, mmp_cost / opt);
+        assert!(
+            mmp_cost / opt < 2.0,
+            "seed {}: ratio {}",
+            seed,
+            mmp_cost / opt
+        );
     }
 }
 
@@ -99,8 +111,7 @@ fn internet_assembly_end_to_end() {
     let as_degrees = net.as_degrees();
     let as_reach = *as_degrees.iter().max().unwrap() as f64 / as_degrees.len() as f64;
     let router_degrees = router.degree_sequence();
-    let router_reach =
-        *router_degrees.iter().max().unwrap() as f64 / router_degrees.len() as f64;
+    let router_reach = *router_degrees.iter().max().unwrap() as f64 / router_degrees.len() as f64;
     assert!(
         as_reach > 10.0 * router_reach,
         "AS reach {} vs router reach {}",
@@ -113,7 +124,11 @@ fn internet_assembly_end_to_end() {
 fn whole_pipeline_is_deterministic() {
     let run = || {
         let (census, traffic) = geography(7);
-        let config = IspConfig { n_pops: 4, total_customers: 80, ..IspConfig::default() };
+        let config = IspConfig {
+            n_pops: 4,
+            total_customers: 80,
+            ..IspConfig::default()
+        };
         let isp = generate_isp(&census, &traffic, &config, &mut StdRng::seed_from_u64(8));
         let report = MetricReport::compute("det", &isp.graph);
         (isp.graph.node_count(), isp.graph.edge_count(), report.row())
@@ -126,7 +141,11 @@ fn formulations_nest() {
     // Profit-based ISP serves a subset of the cost-based customer set,
     // never more.
     let (census, traffic) = geography(9);
-    let base = IspConfig { n_pops: 4, total_customers: 100, ..IspConfig::default() };
+    let base = IspConfig {
+        n_pops: 4,
+        total_customers: 100,
+        ..IspConfig::default()
+    };
     let cost_isp = generate_isp(&census, &traffic, &base, &mut StdRng::seed_from_u64(10));
     let profit_config = IspConfig {
         formulation: Formulation::ProfitBased {
@@ -134,8 +153,12 @@ fn formulations_nest() {
         },
         ..base
     };
-    let profit_isp =
-        generate_isp(&census, &traffic, &profit_config, &mut StdRng::seed_from_u64(10));
+    let profit_isp = generate_isp(
+        &census,
+        &traffic,
+        &profit_config,
+        &mut StdRng::seed_from_u64(10),
+    );
     assert!(
         profit_isp.count_role(RouterRole::Customer) <= cost_isp.count_role(RouterRole::Customer)
     );

@@ -11,7 +11,10 @@ use rand::SeedableRng;
 
 fn setup(seed: u64) -> (Census, TrafficMatrix) {
     let census = Census::synthesize(
-        &CensusConfig { n_cities: 20, ..CensusConfig::default() },
+        &CensusConfig {
+            n_cities: 20,
+            ..CensusConfig::default()
+        },
         &mut StdRng::seed_from_u64(seed),
     );
     let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
@@ -21,7 +24,11 @@ fn setup(seed: u64) -> (Census, TrafficMatrix) {
 #[test]
 fn routing_conserves_demand_on_generated_isp() {
     let (census, traffic) = setup(1);
-    let config = IspConfig { n_pops: 5, total_customers: 100, ..IspConfig::default() };
+    let config = IspConfig {
+        n_pops: 5,
+        total_customers: 100,
+        ..IspConfig::default()
+    };
     let isp = generate_isp(&census, &traffic, &config, &mut StdRng::seed_from_u64(2));
     let customers: Vec<NodeId> = isp
         .graph
@@ -30,7 +37,11 @@ fn routing_conserves_demand_on_generated_isp() {
         .collect();
     let demands: Vec<Demand> = customers
         .windows(2)
-        .map(|w| Demand { src: w[0], dst: w[1], amount: 2.0 })
+        .map(|w| Demand {
+            src: w[0],
+            dst: w[1],
+            amount: 2.0,
+        })
         .collect();
     let outcome = route(&isp.graph, &demands, IgpMetric::HopCount, |_, _| 1.0);
     // The ISP graph is connected: everything routes.
@@ -47,7 +58,11 @@ fn routing_conserves_demand_on_generated_isp() {
 fn failure_sim_agrees_with_cut_structure() {
     // On the ISP's access tree, every loaded link is a cut for someone.
     let (census, traffic) = setup(3);
-    let config = IspConfig { n_pops: 4, total_customers: 60, ..IspConfig::default() };
+    let config = IspConfig {
+        n_pops: 4,
+        total_customers: 60,
+        ..IspConfig::default()
+    };
     let isp = generate_isp(&census, &traffic, &config, &mut StdRng::seed_from_u64(4));
     let customers: Vec<NodeId> = isp
         .graph
@@ -57,7 +72,11 @@ fn failure_sim_agrees_with_cut_structure() {
     let demands: Vec<Demand> = customers
         .windows(2)
         .step_by(2)
-        .map(|w| Demand { src: w[0], dst: w[1], amount: 1.0 })
+        .map(|w| Demand {
+            src: w[0],
+            dst: w[1],
+            amount: 1.0,
+        })
         .collect();
     let summary = single_link_failures(&isp.graph, &demands, IgpMetric::HopCount, |_, _| 1.0);
     // Customer uplinks are bridges: most failures strand something.
@@ -98,7 +117,11 @@ fn bgp_policy_never_shorter_and_internet_stays_reachable() {
 #[test]
 fn traceroute_inference_is_conservative() {
     let (census, traffic) = setup(7);
-    let config = IspConfig { n_pops: 5, total_customers: 80, ..IspConfig::default() };
+    let config = IspConfig {
+        n_pops: 5,
+        total_customers: 80,
+        ..IspConfig::default()
+    };
     let isp = generate_isp(&census, &traffic, &config, &mut StdRng::seed_from_u64(8));
     let few = infer_map(&isp.graph, &strided_vantages(&isp.graph, 2), None, |l| {
         l.length.max(1e-9)
@@ -121,13 +144,21 @@ fn surrogate_and_report_roundtrip() {
     use hotgen::metrics::assortativity::{assortativity, rich_club_coefficient};
     use hotgen::metrics::surrogate::degree_surrogate;
     let (census, traffic) = setup(9);
-    let config = IspConfig { n_pops: 4, total_customers: 80, ..IspConfig::default() };
+    let config = IspConfig {
+        n_pops: 4,
+        total_customers: 80,
+        ..IspConfig::default()
+    };
     let isp = generate_isp(&census, &traffic, &config, &mut StdRng::seed_from_u64(10));
     // Assortativity is defined (degree variance exists) and in range.
     // Note: unlike AS graphs, this access-chain-heavy router graph can be
     // mildly assortative — Esau–Williams chains contribute many 2–2 edges.
     let r = assortativity(&isp.graph).expect("ISP has degree variance");
-    assert!((-1.0..=1.0).contains(&r), "assortativity {} out of range", r);
+    assert!(
+        (-1.0..=1.0).contains(&r),
+        "assortativity {} out of range",
+        r
+    );
     let surrogate = degree_surrogate(&isp.graph, 10, &mut StdRng::seed_from_u64(11));
     assert_eq!(surrogate.degree_sequence(), isp.graph.degree_sequence());
     // Identical degree sequences give identical assortativity *support*

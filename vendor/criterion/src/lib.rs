@@ -1,0 +1,237 @@
+//! Vendored, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements just enough of criterion's surface for the workspace's
+//! four bench harnesses: [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed in
+//! batches until a small wall-clock budget (default ~200 ms, shrunk by
+//! `sample_size`) is exhausted; the mean per-iteration time is printed.
+//! No statistics, plots, or baselines — swap in real criterion when the
+//! registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Timing loop driver handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Call `routine` repeatedly and record the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and a first timing probe in one.
+        let probe_start = Instant::now();
+        std::hint::black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+
+        // Size batches so each is ~1/8 of the budget, at least 1 iter.
+        let per_batch = (self.budget.as_nanos() / 8 / probe.as_nanos()).clamp(1, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.budget {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += per_batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Identifier for a parameterised benchmark, e.g. `fkp_grow/2000`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+const BUDGET_PER_BENCH: Duration = Duration::from_millis(200);
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's knob for expensive benchmarks; here it scales the
+    /// wall-clock budget down proportionally.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    fn budget(&self) -> Duration {
+        BUDGET_PER_BENCH.mul_f64(self.sample_size as f64 / DEFAULT_SAMPLE_SIZE as f64)
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.budget(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F, T: ?Sized>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.budget(), |b| f(b, input));
+        self
+    }
+
+    /// Criterion generates reports here; the stub has nothing to flush.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, BUDGET_PER_BENCH, |b| f(b));
+        self
+    }
+
+    /// Upstream parses CLI flags here; the stub accepts and ignores
+    /// whatever `cargo bench` passes (e.g. `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, budget: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        budget,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    println!(
+        "{:<50} {:>14} {:>10} iters",
+        label,
+        format_ns(bencher.mean_ns),
+        bencher.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{:.0} ns", ns)
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running every group (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut ran = 0u32;
+        group.bench_function("trivial", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2));
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 2);
+    }
+}
