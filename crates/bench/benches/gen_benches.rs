@@ -1,4 +1,5 @@
-//! Generator micro-benchmarks: how each topology generator scales with n.
+//! Generator micro-benchmarks: how each topology generator scales with
+//! n, plus the generate→analyze pipeline on the CSR kernels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hot_baselines::{ba, glp, plrg, waxman};
@@ -8,6 +9,9 @@ use hot_core::isp::generator::{generate, IspConfig};
 use hot_core::plr::{solve, PlrConfig};
 use hot_econ::cable::CableCatalog;
 use hot_econ::cost::LinkCost;
+use hot_graph::csr::CsrGraph;
+use hot_graph::parallel::{default_threads, par_betweenness};
+use hot_metrics::robustness::{degradation_curve, RemovalPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -109,11 +113,45 @@ fn bench_isp_and_plr(c: &mut Criterion) {
     group.finish();
 }
 
+/// Generate-then-analyze: the analytics the E-experiments run on every
+/// generated topology, on the CSR kernels.
+fn bench_csr_analytics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_analytics_glp2000");
+    group.sample_size(10);
+    let g = glp::generate(
+        &glp::GlpConfig {
+            n: 2000,
+            ..glp::GlpConfig::default()
+        },
+        &mut StdRng::seed_from_u64(10),
+    );
+    let csr = CsrGraph::from_graph(&g);
+    let threads = default_threads();
+    group.bench_function(format!("par_betweenness/{}", threads).as_str(), |b| {
+        b.iter(|| black_box(par_betweenness(&csr, threads)))
+    });
+    group.bench_function("degradation_curve", |b| {
+        let fractions = [0.01, 0.02, 0.05, 0.1, 0.2];
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            black_box(degradation_curve(
+                &g,
+                RemovalPolicy::DegreeAttack,
+                &fractions,
+                &mut rng,
+                threads,
+            ))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fkp,
     bench_buyatbulk,
     bench_baselines,
-    bench_isp_and_plr
+    bench_isp_and_plr,
+    bench_csr_analytics
 );
 criterion_main!(benches);

@@ -3,10 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hot_graph::betweenness::betweenness;
+use hot_graph::csr::CsrGraph;
 use hot_graph::flow::max_flow;
 use hot_graph::graph::{Graph, NodeId};
 use hot_graph::kcore::coreness;
 use hot_graph::mst::{kruskal, prim};
+use hot_graph::parallel::{default_threads, par_avg_path_length, par_betweenness};
 use hot_graph::shortest_path::dijkstra;
 use hot_graph::spectral::spectral_radius;
 use std::hint::black_box;
@@ -59,5 +61,36 @@ fn bench_graph(c: &mut Criterion) {
     heavy.finish();
 }
 
-criterion_group!(benches, bench_graph);
+/// The CSR kernels: view construction, then the serial-vs-parallel
+/// whole-graph traversals the experiments lean on. The serial rows are
+/// the 1-thread runs of the same chunked kernel, so the parallel rows
+/// are pure scheduling overhead/speedup with bit-identical output.
+fn bench_csr(c: &mut Criterion) {
+    let g = grid(50, 50);
+    let csr = CsrGraph::from_graph(&g);
+    let threads = default_threads();
+    let mut group = c.benchmark_group("csr_grid50x50");
+    group.sample_size(10);
+    group.bench_function("from_graph", |b| {
+        b.iter(|| black_box(CsrGraph::from_graph(&g)))
+    });
+    group.bench_function("betweenness_serial", |b| {
+        b.iter(|| black_box(par_betweenness(&csr, 1)))
+    });
+    group.bench_function(format!("betweenness_par{}", threads).as_str(), |b| {
+        b.iter(|| black_box(par_betweenness(&csr, threads)))
+    });
+    group.bench_function("avg_path_length_serial", |b| {
+        b.iter(|| black_box(par_avg_path_length(&csr, 1)))
+    });
+    group.bench_function(format!("avg_path_length_par{}", threads).as_str(), |b| {
+        b.iter(|| black_box(par_avg_path_length(&csr, threads)))
+    });
+    group.bench_function("largest_component", |b| {
+        b.iter(|| black_box(csr.largest_component_size()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph, bench_csr);
 criterion_main!(benches);

@@ -3,9 +3,17 @@
 //! Betweenness feeds the hierarchy metrics: in optimization-designed
 //! topologies load concentrates on a thin backbone, which shows up as an
 //! extremely skewed betweenness distribution.
+//!
+//! The kernel itself lives in [`crate::csr`] (flat-array Brandes over a
+//! [`CsrGraph`]) with the deterministic chunked accumulation of
+//! [`crate::parallel`]; this entry point is the serial (1-thread) run of
+//! that kernel, so [`crate::parallel::par_betweenness`] matches it
+//! bit-for-bit at any thread count. Callers holding many graphs or
+//! wanting parallelism should build the [`CsrGraph`] themselves.
 
-use crate::graph::{Graph, NodeId};
-use std::collections::VecDeque;
+use crate::csr::CsrGraph;
+use crate::graph::Graph;
+use crate::parallel::par_betweenness;
 
 /// Betweenness centrality of every node, using unweighted (hop-count)
 /// shortest paths.
@@ -13,53 +21,7 @@ use std::collections::VecDeque;
 /// Each unordered pair is counted once (the undirected convention: raw
 /// dependencies are halved). Endpoints are excluded, so leaves score 0.
 pub fn betweenness<N, E>(g: &Graph<N, E>) -> Vec<f64> {
-    let n = g.node_count();
-    let mut centrality = vec![0.0f64; n];
-    // Brandes: one BFS per source, accumulate dependencies backwards.
-    let mut sigma = vec![0.0f64; n]; // number of shortest paths
-    let mut dist = vec![-1i64; n];
-    let mut delta = vec![0.0f64; n];
-    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    for s in g.node_ids() {
-        // Reset scratch state.
-        for v in 0..n {
-            sigma[v] = 0.0;
-            dist[v] = -1;
-            delta[v] = 0.0;
-            preds[v].clear();
-        }
-        sigma[s.index()] = 1.0;
-        dist[s.index()] = 0;
-        let mut stack: Vec<NodeId> = Vec::with_capacity(n);
-        let mut queue = VecDeque::new();
-        queue.push_back(s);
-        while let Some(v) = queue.pop_front() {
-            stack.push(v);
-            for (w, _) in g.neighbors(v) {
-                if dist[w.index()] < 0 {
-                    dist[w.index()] = dist[v.index()] + 1;
-                    queue.push_back(w);
-                }
-                if dist[w.index()] == dist[v.index()] + 1 {
-                    sigma[w.index()] += sigma[v.index()];
-                    preds[w.index()].push(v);
-                }
-            }
-        }
-        while let Some(w) = stack.pop() {
-            for &v in &preds[w.index()] {
-                delta[v.index()] += sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
-            }
-            if w != s {
-                centrality[w.index()] += delta[w.index()];
-            }
-        }
-    }
-    // Undirected graphs: each pair was counted twice.
-    for c in &mut centrality {
-        *c /= 2.0;
-    }
-    centrality
+    par_betweenness(&CsrGraph::from_graph(g), 1)
 }
 
 #[cfg(test)]

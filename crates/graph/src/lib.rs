@@ -17,6 +17,8 @@
 //! | module | contents |
 //! |---|---|
 //! | [`graph`] | [`Graph`], [`NodeId`], [`EdgeId`] — undirected annotated multigraph |
+//! | [`csr`] | [`CsrGraph`] — flat compressed-sparse-row view for the analytics kernels |
+//! | [`parallel`] | deterministic multi-threaded kernels: `par_betweenness`, `par_path_summary`, `par_avg_path_length` |
 //! | [`unionfind`] | disjoint-set forest used by Kruskal and component bookkeeping |
 //! | [`traversal`] | BFS/DFS orders, hop distances, connected components |
 //! | [`shortest_path`] | Dijkstra (binary heap), Bellman–Ford oracle, path extraction |
@@ -48,18 +50,21 @@
 //! ```
 
 pub mod betweenness;
+pub mod csr;
 pub mod degree;
 pub mod flow;
 pub mod graph;
 pub mod io;
 pub mod kcore;
 pub mod mst;
+pub mod parallel;
 pub mod shortest_path;
 pub mod spectral;
 pub mod traversal;
 pub mod tree;
 pub mod unionfind;
 
+pub use csr::CsrGraph;
 pub use graph::{EdgeId, Graph, NodeId};
 pub use tree::RootedTree;
 pub use unionfind::UnionFind;

@@ -8,8 +8,9 @@
 //! structural generators impose explicitly and optimization-driven design
 //! produces as a by-product.
 
-use hot_graph::betweenness::betweenness;
+use hot_graph::csr::CsrGraph;
 use hot_graph::graph::Graph;
+use hot_graph::parallel::{default_threads, par_betweenness};
 
 /// Gini coefficient of a non-negative sample (0 for empty/all-zero).
 pub fn gini(sample: &[f64]) -> f64 {
@@ -43,8 +44,11 @@ pub struct HierarchySummary {
 
 /// Computes the hierarchy summary (zeros for graphs with < 3 nodes, where
 /// betweenness is trivially 0).
+///
+/// Betweenness runs on the CSR kernel across all available cores; the
+/// chunked reduction makes the result independent of the thread count.
 pub fn hierarchy<N, E>(g: &Graph<N, E>) -> HierarchySummary {
-    let b = betweenness(g);
+    let b = par_betweenness(&CsrGraph::from_graph(g), default_threads());
     let total: f64 = b.iter().sum();
     if b.len() < 3 || total <= 0.0 {
         return HierarchySummary {

@@ -3,9 +3,13 @@
 //!
 //! For graphs beyond `EXACT_LIMIT` nodes the metrics are estimated from a
 //! deterministic stride sample of BFS sources, keeping reports
-//! reproducible without an RNG.
+//! reproducible without an RNG. The BFS sweep runs on the CSR view
+//! across all available cores; every aggregate is integer-valued, so the
+//! parallel result is identical to the serial one.
 
+use hot_graph::csr::CsrGraph;
 use hot_graph::graph::{Graph, NodeId};
+use hot_graph::parallel::{default_threads, par_path_summary};
 use hot_graph::traversal::bfs_distances;
 
 /// Below this node count, all-sources BFS is exact.
@@ -48,32 +52,11 @@ fn sources<N, E>(g: &Graph<N, E>) -> (Vec<NodeId>, bool) {
 /// per-component); the empty graph yields zeros.
 pub fn path_metrics<N, E>(g: &Graph<N, E>) -> PathMetrics {
     let (srcs, exact) = sources(g);
-    let mut total = 0u64;
-    let mut count = 0u64;
-    let mut diameter = 0u32;
-    let mut hist: Vec<usize> = Vec::new();
-    for s in srcs {
-        for d in bfs_distances(g, s).into_iter().flatten() {
-            if d == 0 {
-                continue;
-            }
-            total += d as u64;
-            count += 1;
-            diameter = diameter.max(d);
-            if hist.len() <= d as usize {
-                hist.resize(d as usize + 1, 0);
-            }
-            hist[d as usize] += 1;
-        }
-    }
+    let summary = par_path_summary(&CsrGraph::from_graph(g), &srcs, default_threads());
     PathMetrics {
-        mean_distance: if count > 0 {
-            total as f64 / count as f64
-        } else {
-            0.0
-        },
-        diameter,
-        hop_histogram: hist,
+        mean_distance: summary.mean_distance(),
+        diameter: summary.diameter,
+        hop_histogram: summary.hop_histogram,
         exact,
     }
 }

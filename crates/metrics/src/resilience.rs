@@ -7,9 +7,9 @@
 //! deterministic sample of node pairs in the largest component. Trees
 //! score exactly 1; meshes score higher.
 
+use hot_graph::csr::CsrGraph;
 use hot_graph::flow::edge_connectivity_pair;
 use hot_graph::graph::{Graph, NodeId};
-use hot_graph::traversal::largest_component_mask;
 
 /// Number of node pairs sampled.
 const SAMPLE_PAIRS: usize = 64;
@@ -17,7 +17,7 @@ const SAMPLE_PAIRS: usize = 64;
 /// Mean pairwise edge connectivity over sampled pairs of the largest
 /// component. Returns 0 for graphs with fewer than 2 nodes.
 pub fn mean_pairwise_connectivity<N, E>(g: &Graph<N, E>) -> f64 {
-    let mask = largest_component_mask(g);
+    let mask = CsrGraph::from_graph(g).largest_component_mask();
     let members: Vec<NodeId> = g.node_ids().filter(|v| mask[v.index()]).collect();
     let m = members.len();
     if m < 2 {

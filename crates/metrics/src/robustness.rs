@@ -9,8 +9,9 @@
 //! runs this on HOT-designed trees, full ISP topologies, and the
 //! descriptive baselines.
 
+use hot_graph::csr::CsrGraph;
 use hot_graph::graph::Graph;
-use hot_graph::traversal::largest_component_size;
+use hot_graph::parallel::run_chunks;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -33,7 +34,8 @@ pub struct DegradationPoint {
     pub giant_fraction: f64,
 }
 
-/// Computes the degradation curve at the given removal fractions.
+/// Computes the degradation curve at the given removal fractions
+/// (serial: the 1-thread run of [`degradation_curve`]).
 ///
 /// For `RandomFailure` the node order is drawn once from `rng`; for
 /// `DegreeAttack` it is the descending-degree order (ties by node id, so
@@ -44,6 +46,28 @@ pub fn degradation<N: Clone, E: Clone>(
     fractions: &[f64],
     rng: &mut impl Rng,
 ) -> Vec<DegradationPoint> {
+    degradation_curve(g, policy, fractions, rng, 1)
+}
+
+/// Computes the degradation curve with the fractions evaluated in
+/// parallel on `threads` worker threads.
+///
+/// Each fraction's giant component is measured by a masked BFS over the
+/// CSR view of the intact graph — no per-fraction subgraph copies — and
+/// written back by fraction index, so the curve is identical at every
+/// thread count (giant fractions are ratios of integers). The removal
+/// order is drawn exactly as in [`degradation`], so the two agree
+/// point-for-point.
+pub fn degradation_curve<N: Clone, E: Clone>(
+    g: &Graph<N, E>,
+    policy: RemovalPolicy,
+    fractions: &[f64],
+    rng: &mut impl Rng,
+    threads: usize,
+) -> Vec<DegradationPoint> {
+    for &f in fractions {
+        assert!((0.0..=1.0).contains(&f), "fraction {} out of range", f);
+    }
     let n = g.node_count();
     if n == 0 {
         return fractions
@@ -62,22 +86,33 @@ pub fn degradation<N: Clone, E: Clone>(
             order.sort_by_key(|&v| (std::cmp::Reverse(degs[v]), v));
         }
     }
-    fractions
-        .iter()
-        .map(|&f| {
-            assert!((0.0..=1.0).contains(&f), "fraction {} out of range", f);
-            let k = ((n as f64) * f).round() as usize;
-            let mut keep = vec![true; n];
-            for &v in order.iter().take(k) {
-                keep[v] = false;
-            }
-            let (sub, _) = g.induced_subgraph(&keep);
-            DegradationPoint {
-                removed_fraction: f,
-                giant_fraction: largest_component_size(&sub) as f64 / n as f64,
-            }
-        })
-        .collect()
+    let csr = CsrGraph::from_graph(g);
+    // Fractions are independent; the shared deterministic chunk scheduler
+    // hands out contiguous index ranges and returns them in order, so
+    // flattening restores the fraction order. The keep mask is per-worker
+    // scratch, rebuilt for each fraction.
+    let computed = run_chunks(
+        fractions.len(),
+        threads,
+        || vec![true; n],
+        |keep, range| {
+            range
+                .map(|i| {
+                    let f = fractions[i];
+                    let k = ((n as f64) * f).round() as usize;
+                    keep.iter_mut().for_each(|b| *b = true);
+                    for &v in order.iter().take(k) {
+                        keep[v] = false;
+                    }
+                    DegradationPoint {
+                        removed_fraction: f,
+                        giant_fraction: csr.largest_component_size_masked(keep) as f64 / n as f64,
+                    }
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+    computed.into_iter().flat_map(|(_, pts)| pts).collect()
 }
 
 /// Area under the degradation curve (mean giant fraction across the given
@@ -185,6 +220,28 @@ mod tests {
         );
         assert_eq!(pts[0].giant_fraction, 0.0);
         assert_eq!(robustness_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn parallel_curve_matches_serial_at_any_thread_count() {
+        let g = star(120);
+        let fractions = [0.0, 0.02, 0.05, 0.1, 0.5, 1.0];
+        for policy in [RemovalPolicy::RandomFailure, RemovalPolicy::DegreeAttack] {
+            let serial = degradation(&g, policy, &fractions, &mut StdRng::seed_from_u64(8));
+            for threads in 2..=6 {
+                let par = degradation_curve(
+                    &g,
+                    policy,
+                    &fractions,
+                    &mut StdRng::seed_from_u64(8),
+                    threads,
+                );
+                for (a, b) in serial.iter().zip(&par) {
+                    assert_eq!(a.removed_fraction.to_bits(), b.removed_fraction.to_bits());
+                    assert_eq!(a.giant_fraction.to_bits(), b.giant_fraction.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! trunks they provisioned for it; degree-matched random rewirings put
 //! heavy load on links that were never sized for it.
 
+use hot_graph::csr::CsrGraph;
 use hot_graph::graph::{EdgeId, Graph, NodeId};
 use hot_graph::shortest_path::dijkstra;
 
@@ -82,8 +83,11 @@ impl RoutingOutcome {
 /// Routes `demands` over `g` on shortest paths under `metric`.
 ///
 /// `weight` is consulted only for `IgpMetric::Weighted`. Ties are broken
-/// deterministically by Dijkstra's relaxation order, so results are
-/// reproducible. Runtime: one Dijkstra per distinct source.
+/// deterministically (hop-count: BFS first-discovery in adjacency order
+/// on the CSR view; weighted: Dijkstra's relaxation order), so results
+/// are reproducible. Runtime: one BFS or Dijkstra per distinct source —
+/// the hop-count path is the one the large experiments hit, and it runs
+/// on the flat [`CsrGraph`] kernel.
 pub fn route<N, E>(
     g: &Graph<N, E>,
     demands: &[Demand],
@@ -94,18 +98,28 @@ pub fn route<N, E>(
     let mut unrouted = Vec::new();
     let mut traffic_hops = 0.0;
     let mut routed_traffic = 0.0;
-    // Group demands by source to reuse Dijkstra runs.
+    // Group demands by source to reuse the per-source shortest-path runs.
     let mut by_src: std::collections::BTreeMap<u32, Vec<&Demand>> = Default::default();
     for d in demands {
         by_src.entry(d.src.0).or_default().push(d);
     }
+    let csr = match metric {
+        IgpMetric::HopCount => Some(CsrGraph::from_graph(g)),
+        IgpMetric::Weighted => None,
+    };
     for (src, group) in by_src {
-        let sp = dijkstra(g, NodeId(src), |e, w| match metric {
-            IgpMetric::HopCount => 1.0,
-            IgpMetric::Weighted => weight(e, w),
-        });
+        let edge_path_to: Box<dyn Fn(NodeId) -> Option<Vec<EdgeId>>> = match &csr {
+            Some(csr) => {
+                let tree = csr.bfs_tree(NodeId(src));
+                Box::new(move |dst| tree.edge_path_to(dst))
+            }
+            None => {
+                let sp = dijkstra(g, NodeId(src), |e, w| weight(e, w));
+                Box::new(move |dst| sp.edge_path_to(dst))
+            }
+        };
         for d in group {
-            match sp.edge_path_to(d.dst) {
+            match edge_path_to(d.dst) {
                 Some(path) => {
                     for e in &path {
                         link_load[e.index()] += d.amount;
