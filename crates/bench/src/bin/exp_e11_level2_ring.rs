@@ -1,73 +1,10 @@
-//! E11 (extension) — the Level-2 technology question (paper §2.4).
+//! Level-2 ablation (paper §2.4): buy-at-bulk tree vs SONET ring from identical demand.
 //!
-//! "We expect this approach to shed light on the question of how
-//! important the careful incorporation of Level-2 technologies and
-//! economics is. Note that current router-level measurements are all
-//! IP-based and say little about the underlying link-layer technologies."
-//!
-//! Same metro, two Level-2 worlds: buy-at-bulk trees (cheapest feasible
-//! fiber, 1-connected) vs SONET rings (survivable by construction). The
-//! table quantifies the survivability premium and how different the two
-//! IP-visible topologies look — from identical demand and geography.
-
-use hot_bench::{banner, fmt, section, SEED};
-use hot_core::access::ring::design_ring;
-use hot_core::buyatbulk::{greedy, problem::Instance};
-use hot_econ::cable::CableCatalog;
-use hot_econ::cost::LinkCost;
-use hot_geo::point::Point;
-use hot_graph::flow::global_edge_connectivity;
-use hot_metrics::MetricReport;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e11`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E11 (extension): Level-2 ablation — buy-at-bulk tree vs SONET ring",
-        "the same metro demand yields structurally different IP-visible \
-         topologies depending on the link-layer technology; survivability \
-         is bought with a fiber premium",
-    );
-    let cost = LinkCost::cables_only(CableCatalog::realistic_2003());
-    section("per-metro comparison (5 seeds, 60 terminals each)");
-    println!(
-        "{:>8} {:>12} {:>12} {:>10} {:>12} {:>12}",
-        "seed", "tree-km", "ring-km", "premium", "tree-cut", "ring-cut"
-    );
-    let mut reports = Vec::new();
-    for s in 0..5u64 {
-        let mut rng = StdRng::seed_from_u64(SEED + s);
-        let inst = Instance::random_uniform(60, 15.0, cost.clone(), &mut rng);
-        // Tree world: buy-at-bulk MMP + local search.
-        let tree = greedy::mmp_plus_improve(&inst, &mut rng, 1000).solution;
-        let tree_graph = tree.to_graph(&inst);
-        let tree_km = tree_graph.total_edge_weight(|w| *w);
-        // Ring world: SONET cycle through the same terminals.
-        let terminals: Vec<Point> = inst.customers.iter().map(|c| c.location).collect();
-        let ring = design_ring(inst.sink, &terminals, 30);
-        let ring_graph = ring.to_graph(inst.sink, &terminals);
-        println!(
-            "{:>8} {:>12} {:>12} {:>10} {:>12} {:>12}",
-            s,
-            fmt(tree_km),
-            fmt(ring.total_length),
-            fmt(ring.total_length / tree_km),
-            global_edge_connectivity(&tree_graph),
-            global_edge_connectivity(&ring_graph)
-        );
-        if s == 0 {
-            reports.push(MetricReport::compute("tree(l2=p2p)", &tree_graph));
-            reports.push(MetricReport::compute("ring(l2=sonet)", &ring_graph));
-        }
-    }
-    section("IP-visible metric comparison (seed 0)");
-    print!("{}", MetricReport::table(&reports));
-    println!();
-    println!(
-        "reading: identical customers, identical demand — yet the SONET \
-         metro shows degree-2 routers, huge diameter, and min-cut 2, \
-         while the point-to-point metro shows a hub-and-spur tree with \
-         min-cut 1. An IP-level map cannot tell you *why* without the \
-         Level-2 economics, which is the paper's §2.4 warning."
-    );
+    hot_exp::print_scenario("e11");
 }

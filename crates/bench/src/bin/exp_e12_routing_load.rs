@@ -1,182 +1,10 @@
-//! E12 (extension) — routing load on designed vs descriptive topologies.
+//! Routing load and failure response on designed vs degree-matched topologies.
 //!
-//! Paper §1: "although topology should not affect the correctness of
-//! networking protocols, it can have a dramatic impact on their
-//! performance", and the abstract promises the framework as a foundation
-//! for studying routing dynamics. We route the same gravity demand over
-//! the generated ISP and over degree-matched controls, and compare load
-//! concentration and provisioning fit — plus what a single link failure
-//! costs on a redundant vs tree backbone.
-
-use hot_bench::{banner, fmt, section, standard_geography, SEED};
-use hot_core::isp::backbone::BackboneConfig;
-use hot_core::isp::generator::{generate, IspConfig};
-use hot_core::isp::{LinkKind, RouterRole};
-use hot_graph::graph::NodeId;
-use hot_metrics::surrogate::degree_surrogate;
-use hot_sim::failure::single_link_failures;
-use hot_sim::routing::{load_gini, route, Demand, IgpMetric};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Customer-to-customer demands: a deterministic sample of pairs with
-/// unit traffic (the gravity structure is already inside the topology via
-/// its design; here we probe serving performance).
-fn customer_demands(isp: &hot_core::isp::IspTopology, pairs: usize) -> Vec<Demand> {
-    let customers: Vec<NodeId> = isp
-        .graph
-        .node_ids()
-        .filter(|&v| isp.graph.node_weight(v).role == RouterRole::Customer)
-        .collect();
-    let m = customers.len();
-    let stride = ((m as f64 * 0.618_033_9) as usize).max(1);
-    let mut out = Vec::with_capacity(pairs);
-    let (mut a, mut b) = (0usize, stride % m);
-    for _ in 0..pairs {
-        if a == b {
-            b = (b + 1) % m;
-        }
-        out.push(Demand {
-            src: customers[a],
-            dst: customers[b],
-            amount: 1.0,
-        });
-        a = (a + 1) % m;
-        b = (b + stride) % m;
-    }
-    out
-}
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e12`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E12 (extension): routing load and failure response",
-        "designed topologies concentrate transit on provisioned trunks; \
-         their degree-matched rewirings put the same load on links never \
-         sized for it; redundancy converts stranded traffic into stretch",
-    );
-    let (census, traffic) = standard_geography(40, SEED);
-    let config = IspConfig {
-        n_pops: 10,
-        total_customers: 600,
-        ..IspConfig::default()
-    };
-    let isp = generate(&census, &traffic, &config, &mut StdRng::seed_from_u64(SEED));
-    let demands = customer_demands(&isp, 2000);
-    section("load on the designed ISP vs its degree-preserving surrogate");
-    // Hop-count routing rides the CSR BFS kernel: one flat-array BFS per
-    // distinct source instead of a heap-based Dijkstra.
-    let t0 = std::time::Instant::now();
-    let outcome = route(&isp.graph, &demands, IgpMetric::HopCount, |_, _| 1.0);
-    println!(
-        "routed {} demands over {} nodes / {} links in {:.1} ms (CSR BFS)",
-        demands.len(),
-        isp.graph.node_count(),
-        isp.graph.edge_count(),
-        t0.elapsed().as_secs_f64() * 1e3
-    );
-    println!(
-        "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
-        "topology", "unrouted", "meanhops", "maxload", "gini", "idle"
-    );
-    println!(
-        "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
-        "isp(designed)",
-        outcome.unrouted.len(),
-        fmt(outcome.mean_hops()),
-        fmt(outcome.max_load()),
-        fmt(load_gini(&outcome)),
-        fmt(outcome.idle_fraction())
-    );
-    // Load-vs-capacity fit on the designed ISP: how much of the traffic
-    // lands on links provisioned above the smallest tier?
-    let mut trunk_load = 0.0;
-    let mut total_load = 0.0;
-    for (e, _, _, l) in isp.graph.edges() {
-        let load = outcome.link_load[e.index()];
-        total_load += load;
-        if l.kind == LinkKind::Backbone || l.kind == LinkKind::Metro {
-            trunk_load += load;
-        }
-    }
-    println!(
-        "fraction of traffic-hops on designed trunk links (backbone+metro): {}",
-        fmt(trunk_load / total_load.max(1e-12))
-    );
-    let surrogate = degree_surrogate(&isp.graph, 10, &mut StdRng::seed_from_u64(SEED + 1));
-    let s_outcome = route(&surrogate, &demands, IgpMetric::HopCount, |_, _| 1.0);
-    println!(
-        "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
-        "isp-surrogate",
-        s_outcome.unrouted.len(),
-        fmt(s_outcome.mean_hops()),
-        fmt(s_outcome.max_load()),
-        fmt(load_gini(&s_outcome)),
-        fmt(s_outcome.idle_fraction())
-    );
-    section("single-link failures on the backbone: redundancy on vs off");
-    println!(
-        "{:<16} {:>10} {:>14} {:>12}",
-        "backbone", "stranding", "worststranded", "meanstretch"
-    );
-    for (name, redundancy) in [("tree (off)", false), ("mesh (on)", true)] {
-        let cfg = IspConfig {
-            backbone: BackboneConfig {
-                redundancy,
-                shortcut_pairs: 0,
-                ..Default::default()
-            },
-            n_pops: 10,
-            total_customers: 0, // backbone-only study: POPs exchange traffic
-            ..IspConfig::default()
-        };
-        // total_customers 0 is disallowed by per-metro max(1); use 10.
-        let cfg = IspConfig {
-            total_customers: 10,
-            ..cfg
-        };
-        let bb_isp = generate(
-            &census,
-            &traffic,
-            &cfg,
-            &mut StdRng::seed_from_u64(SEED + 2),
-        );
-        // Demands between POP routers with gravity weights.
-        let mut demands = Vec::new();
-        for (i, &ra) in bb_isp.pop_routers.iter().enumerate() {
-            for (j, &rb) in bb_isp.pop_routers.iter().enumerate().skip(i + 1) {
-                let amount = traffic.demand(bb_isp.pop_cities[i], bb_isp.pop_cities[j]);
-                if amount > 0.0 {
-                    demands.push(Demand {
-                        src: ra,
-                        dst: rb,
-                        amount,
-                    });
-                }
-            }
-        }
-        // Restrict to the backbone subgraph so failures hit trunks only.
-        let keep: Vec<bool> = bb_isp
-            .graph
-            .edge_ids()
-            .map(|e| bb_isp.graph.edge_weight(e).kind == LinkKind::Backbone)
-            .collect();
-        let backbone_graph = bb_isp.graph.edge_subgraph(&keep);
-        let summary =
-            single_link_failures(&backbone_graph, &demands, IgpMetric::HopCount, |_, _| 1.0);
-        println!(
-            "{:<16} {:>10} {:>14} {:>12}",
-            name,
-            fmt(summary.stranding_fraction),
-            fmt(summary.worst_stranded_fraction),
-            fmt(summary.mean_stretch)
-        );
-    }
-    println!();
-    println!(
-        "reading: on the designed ISP, transit rides the provisioned \
-         trunks; the degree-matched surrogate spreads the same demand \
-         over arbitrary links (higher mean hops, different concentration) \
-         with no provisioning story. On the backbone, the redundancy \
-         premium of E9(b) buys zero stranded traffic at a small stretch."
-    );
+    hot_exp::print_scenario("e12");
 }

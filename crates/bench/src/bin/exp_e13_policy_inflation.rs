@@ -1,85 +1,10 @@
-//! E13 (extension) — valley-free routing and policy inflation.
+//! Valley-free policy inflation on the generated AS graph.
 //!
-//! §2.3: peering is economics, and the paper cites Johari–Tsitsiklis on
-//! "the gaming issues of interdomain traffic management". The routing
-//! face of those economics is Gao–Rexford valley-free export: paths climb
-//! providers, cross at most one peer link, then descend customers. We
-//! measure what those policies cost the generated Internet in path
-//! length — the classic policy-inflation experiment, run on an AS graph
-//! whose relationships came from the generator's own economics.
-
-use hot_bench::{banner, fmt, section, standard_geography, SEED};
-use hot_core::isp::generator::IspConfig;
-use hot_core::peering::{generate_internet, InternetConfig, Relationship};
-use hot_sim::bgp::{policy_inflation, AsNetwork};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e13`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E13 (extension): valley-free policy inflation",
-        "business relationships (transit/peer), not shortest paths, \
-         determine AS routes; policy inflates path lengths and can deny \
-         reachability that the raw graph would allow",
-    );
-    let (census, traffic) = standard_geography(30, SEED);
-    for (label, tier1, transit) in [
-        ("sparse transit (1 upstream)", 3usize, 1usize),
-        ("multihomed (2 upstreams)", 3, 2),
-        ("heavily multihomed (3 upstreams)", 3, 3),
-    ] {
-        let config = InternetConfig {
-            n_isps: 50,
-            max_pops: 12,
-            tier1_count: tier1,
-            transit_per_isp: transit,
-            customers_per_pop: 6,
-            isp_template: IspConfig {
-                ..IspConfig::default()
-            },
-            ..InternetConfig::default()
-        };
-        let net = generate_internet(
-            &census,
-            &traffic,
-            &config,
-            &mut StdRng::seed_from_u64(SEED + 13),
-        );
-        let asn = AsNetwork::from_internet(&net);
-        let peers = net
-            .peering
-            .iter()
-            .filter(|p| p.relationship == Relationship::PeerPeer)
-            .count();
-        let transit_links = net.peering.len() - peers;
-        section(label);
-        println!(
-            "{} ASes, {} peer links, {} transit links",
-            net.isps.len(),
-            peers,
-            transit_links
-        );
-        let stats = policy_inflation(&asn);
-        println!(
-            "policy reachability:        {}",
-            fmt(stats.policy_reachability)
-        );
-        println!("mean path inflation:        {}", fmt(stats.mean_inflation));
-        println!(
-            "pairs strictly inflated:    {}",
-            fmt(stats.inflated_fraction)
-        );
-        println!("max inflation ratio:        {}", fmt(stats.max_inflation));
-    }
-    println!();
-    println!(
-        "reading: with single-homing the AS graph is a tree over the \
-         tier-1 spine, so policy routes ARE shortest routes (inflation \
-         1.0). Multihoming adds raw-graph shortcuts whose transit \
-         valley-freedom forbids, so inflation appears (2 upstreams). \
-         Piling on more upstreams then *shrinks* it again: enough \
-         provider diversity makes some up-down route as short as the \
-         forbidden shortcut. Either way the effect is purely economic — \
-         invisible to any graph-statistical generator."
-    );
+    hot_exp::print_scenario("e13");
 }

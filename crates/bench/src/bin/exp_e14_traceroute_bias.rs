@@ -1,114 +1,10 @@
-//! E14 (extension) — measured maps are incomplete and biased.
+//! Traceroute sampling of known topologies: measured maps understate redundancy.
 //!
-//! §1: "the available data are known to provide incomplete router-level
-//! maps"; §3.2 cites Rocketfuel-class measurement as the validation
-//! substrate. We simulate the measurement itself on ground truth we
-//! control: traceroute-style shortest-path campaigns from k vantages,
-//! on three truths of increasing meshiness — a mostly-tree single ISP
-//! (almost fully observable), the multi-ISP Internet router graph
-//! (redundant links hide), and a BA mesh control (heavy hiding).
-
-use hot_baselines::ba;
-use hot_bench::{banner, fmt, section, standard_geography, SEED};
-use hot_core::isp::generator::{generate, IspConfig};
-use hot_core::peering::{generate_internet, InternetConfig};
-use hot_graph::graph::Graph;
-use hot_metrics::degree_dist::summarize_sample;
-use hot_sim::traceroute::{infer_map, strided_vantages};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn campaign<N: Clone, E: Clone>(
-    name: &str,
-    truth: &Graph<N, E>,
-    weight: impl Fn(&E) -> f64 + Copy,
-) {
-    let true_summary = summarize_sample(&truth.degree_sequence());
-    section(&format!(
-        "{}: {} routers, {} links, mean degree {}, max {}",
-        name,
-        truth.node_count(),
-        truth.edge_count(),
-        fmt(true_summary.mean),
-        true_summary.max
-    ));
-    println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>8}",
-        "vantages", "node-cov", "edge-cov", "meandeg", "maxdeg"
-    );
-    for k in [1usize, 4, 16, 64] {
-        let vantages = strided_vantages(truth, k);
-        let map = infer_map(truth, &vantages, None, weight);
-        let s = summarize_sample(&map.degree_sequence(truth));
-        println!(
-            "{:>10} {:>10} {:>10} {:>10} {:>8}",
-            k,
-            fmt(map.node_coverage),
-            fmt(map.edge_coverage),
-            fmt(s.mean),
-            s.max
-        );
-    }
-    println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>8}",
-        "truth",
-        fmt(1.0),
-        fmt(1.0),
-        fmt(true_summary.mean),
-        true_summary.max
-    );
-}
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e14`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E14 (extension): traceroute sampling of known topologies",
-        "path-union measurement misses exactly the redundant links that \
-         never sit on a shortest path; the more meshy the truth, the \
-         bigger the blind spot",
-    );
-    let (census, traffic) = standard_geography(30, SEED);
-    // (a) A single ISP: access trees dominate, so the map is nearly
-    //     complete — the case where measurement happens to work.
-    let isp = generate(
-        &census,
-        &traffic,
-        &IspConfig {
-            n_pops: 8,
-            total_customers: 400,
-            ..IspConfig::default()
-        },
-        &mut StdRng::seed_from_u64(SEED + 14),
-    );
-    campaign("single ISP (tree-dominated)", &isp.graph, |l| {
-        l.length.max(1e-9)
-    });
-    // (b) The multi-ISP Internet: redundant backbones + peering diversity.
-    let net = generate_internet(
-        &census,
-        &traffic,
-        &InternetConfig {
-            n_isps: 20,
-            max_pops: 8,
-            customers_per_pop: 8,
-            ..InternetConfig::default()
-        },
-        &mut StdRng::seed_from_u64(SEED + 15),
-    );
-    let router_graph = net.combined_router_graph();
-    campaign("Internet router graph", &router_graph, |l| {
-        l.length.max(1e-9)
-    });
-    // (c) A BA(m=3) mesh control with unit link weights.
-    let mesh = ba::generate(1000, 3, &mut StdRng::seed_from_u64(SEED + 16));
-    campaign("ba(m=3) mesh control", &mesh, |_| 1.0);
-    println!();
-    println!(
-        "reading: the tree-dominated ISP is essentially fully observable \
-         — but the meshes are not: backup backbone links, alternate \
-         peering paths, and redundant mesh edges never appear on any \
-         shortest path, so edge coverage plateaus well below 1 and the \
-         inferred mean degree undershoots the truth no matter how many \
-         vantages are added. Maps built this way systematically understate \
-         redundancy — §1's warning, quantified."
-    );
+    hot_exp::print_scenario("e14");
 }

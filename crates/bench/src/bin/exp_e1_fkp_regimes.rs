@@ -1,81 +1,10 @@
-//! E1 — FKP regime table (paper §3.1).
+//! FKP regime table (paper §3.1): star → power-law hub trees → exponential distance trees as α grows.
 //!
-//! Claim: the FKP trade-off model transitions star → power-law hub trees
-//! → exponential distance trees as α grows (thresholds at O(1) and
-//! Ω(√n)).
-
-use hot_bench::{banner, fmt, section, SEED};
-use hot_core::fkp::{classify, grow, Centrality, FkpConfig};
-use hot_metrics::expfit::classify as tail_classify;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e1`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E1: FKP trade-off regimes",
-        "alpha < 1/sqrt(2) -> star; intermediate alpha -> heavy-tailed hub \
-         trees; alpha = Omega(sqrt(n)) -> exponential-degree trees",
-    );
-    let n = 4000;
-    let sqrt_n = (n as f64).sqrt();
-    let alphas = [
-        0.3,
-        0.7,
-        2.0,
-        4.0,
-        8.0,
-        16.0,
-        sqrt_n / 2.0,
-        sqrt_n,
-        4.0 * sqrt_n,
-        n as f64,
-    ];
-    section(&format!(
-        "n = {} nodes, root at region center, 3 seeds each",
-        n
-    ));
-    println!(
-        "{:>10} {:>14} {:>8} {:>10} {:>8} {:>14}",
-        "alpha", "class", "maxdeg", "rootshare", "height", "tail"
-    );
-    for &alpha in &alphas {
-        // Majority class across seeds; stats from the first seed.
-        let mut classes = Vec::new();
-        let mut first = None;
-        for s in 0..3u64 {
-            let config = FkpConfig {
-                n,
-                alpha,
-                centrality: Centrality::HopsToRoot,
-                ..FkpConfig::default()
-            };
-            let topo = grow(&config, &mut StdRng::seed_from_u64(SEED + s));
-            classes.push(classify(&topo));
-            if first.is_none() {
-                first = Some(topo);
-            }
-        }
-        let topo = first.expect("three seeds ran");
-        let degs = topo.degree_sequence();
-        let max_deg = degs.iter().copied().max().unwrap_or(0);
-        let root_share = topo.tree.children(topo.tree.root()).len() as f64 / (n - 1) as f64;
-        let class = classes[0];
-        let tail = tail_classify(&degs).class;
-        println!(
-            "{:>10} {:>14} {:>8} {:>10} {:>8} {:>14}",
-            fmt(alpha),
-            format!("{:?}", class),
-            max_deg,
-            fmt(root_share),
-            topo.tree.height(),
-            tail.to_string()
-        );
-    }
-    println!();
-    println!(
-        "reading: Star rows have rootshare ~1; HubTree rows have maxdeg >> \
-         sqrt(n) = {:.0} and power-law-ish tails; DistanceTree rows have \
-         small maxdeg and exponential tails.",
-        sqrt_n
-    );
+    hot_exp::print_scenario("e1");
 }

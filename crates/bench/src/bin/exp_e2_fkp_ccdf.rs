@@ -1,55 +1,10 @@
-//! E2 — FKP degree CCDFs (paper §3.1; figure analog of FKP's
-//! degree-distribution plots).
+//! FKP degree CCDFs (paper §3.1): trade-off weight selects power-law vs exponential degree distributions.
 //!
-//! Claim: by tuning the trade-off weight, "the resulting node degree
-//! distributions can be either exponential or of the power-law type".
-
-use hot_bench::{banner, section, SEED};
-use hot_core::fkp::{grow, Centrality, FkpConfig};
-use hot_graph::degree::ccdf_of;
-use hot_metrics::expfit::{classify, fit_exponential};
-use hot_metrics::powerlaw::fit_ccdf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e2`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E2: FKP degree CCDF series",
-        "intermediate alpha -> power-law degree CCDF; large alpha -> \
-         exponential degree CCDF",
-    );
-    let n = 8000;
-    for &(alpha, label) in &[
-        (6.0, "trade-off regime"),
-        (20.0, "near the crossover: hubs shrinking"),
-        (5000.0, "distance regime"),
-    ] {
-        let config = FkpConfig {
-            n,
-            alpha,
-            centrality: Centrality::HopsToRoot,
-            ..FkpConfig::default()
-        };
-        let topo = grow(&config, &mut StdRng::seed_from_u64(SEED));
-        let degs = topo.degree_sequence();
-        let verdict = classify(&degs);
-        section(&format!("alpha = {} ({})", alpha, label));
-        println!("k\tP[D>=k]");
-        for (k, p) in ccdf_of(&degs) {
-            println!("{}\t{:.6}", k, p);
-        }
-        if let Some(f) = fit_ccdf(&degs) {
-            println!(
-                "power-law CCDF fit: exponent {:.2}, r2 {:.4}",
-                f.exponent, f.r_squared
-            );
-        }
-        if let Some(f) = fit_exponential(&degs) {
-            println!(
-                "exponential CCDF fit: rate {:.3}, r2 {:.4}",
-                f.exponent, f.r_squared
-            );
-        }
-        println!("verdict: {}", verdict.class);
-    }
+    hot_exp::print_scenario("e2");
 }

@@ -1,59 +1,10 @@
-//! E3 — the paper's §4.2 headline result.
+//! Buy-at-bulk MMP designs (paper §4.2): trees with exponential degree distributions.
 //!
-//! Claim: "the approximation method in \[24\] yields tree topologies with
-//! exponential node degree distributions" when run with fictitious-but-
-//! realistic cable capacities and costs.
-
-use hot_bench::{banner, section, SEED};
-use hot_core::buyatbulk::{mmp, problem::Instance};
-use hot_econ::cable::CableCatalog;
-use hot_econ::cost::LinkCost;
-use hot_graph::degree::ccdf_of;
-use hot_graph::tree::is_tree;
-use hot_metrics::expfit::{classify, fit_exponential};
-use hot_metrics::powerlaw::fit_ccdf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e3`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E3: MMP buy-at-bulk topology (paper's preliminary result)",
-        "randomized incremental buy-at-bulk design with realistic cable \
-         types yields TREES with EXPONENTIAL degree distributions",
-    );
-    let n = 600;
-    let catalog = CableCatalog::realistic_2003();
-    let cost = LinkCost::cables_only(catalog);
-    // Pool degrees across seeds for a stable distribution estimate.
-    let mut all_degrees: Vec<usize> = Vec::new();
-    let mut trees_ok = true;
-    for s in 0..10u64 {
-        let mut rng = StdRng::seed_from_u64(SEED + s);
-        let instance = Instance::random_uniform(n, 15.0, cost.clone(), &mut rng);
-        let solution = mmp::solve(&instance, &mut rng);
-        trees_ok &= is_tree(&solution.to_graph(&instance));
-        all_degrees.extend(solution.degree_sequence());
-    }
-    section(&format!("{} customers per instance, 10 seeds pooled", n));
-    println!("all solutions are trees: {}", trees_ok);
-    println!();
-    println!("k\tP[D>=k]");
-    for (k, p) in ccdf_of(&all_degrees) {
-        println!("{}\t{:.6}", k, p);
-    }
-    println!();
-    if let Some(f) = fit_exponential(&all_degrees) {
-        println!(
-            "exponential CCDF fit: rate {:.3}, r2 {:.4}",
-            f.exponent, f.r_squared
-        );
-    }
-    if let Some(f) = fit_ccdf(&all_degrees) {
-        println!(
-            "power-law  CCDF fit: exponent {:.2}, r2 {:.4}",
-            f.exponent, f.r_squared
-        );
-    }
-    let verdict = classify(&all_degrees);
-    println!("verdict: {} (paper predicts: exponential)", verdict.class);
+    hot_exp::print_scenario("e3");
 }

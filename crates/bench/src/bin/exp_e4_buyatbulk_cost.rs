@@ -1,110 +1,10 @@
-//! E4 — buy-at-bulk solution quality (paper §4.1).
+//! Buy-at-bulk solution quality (paper §4.1): MMP vs exact optimum and classic baselines.
 //!
-//! Claim: the problem is NP-hard but the Meyerson et al. randomized
-//! algorithm achieves a constant-factor approximation; the table measures
-//! the empirical constants for MMP, MMP + local search, and the classic
-//! baselines, against the exact optimum where enumeration is feasible.
-
-use hot_bench::{banner, fmt, section, SEED};
-use hot_core::buyatbulk::{exact, greedy, mmp, problem::Instance};
-use hot_econ::cable::CableCatalog;
-use hot_econ::cost::LinkCost;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn average<const K: usize>(mut f: impl FnMut(u64) -> [f64; K], seeds: u64) -> [f64; K] {
-    let mut acc = [0.0; K];
-    for s in 0..seeds {
-        let v = f(s);
-        for i in 0..K {
-            acc[i] += v[i];
-        }
-    }
-    for a in &mut acc {
-        *a /= seeds as f64;
-    }
-    acc
-}
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e4`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E4: buy-at-bulk cost comparison",
-        "MMP is a constant factor from optimal; aggregation (MMP/local \
-         search) beats both the direct star and pure-MST designs",
-    );
-    let cost = LinkCost::cables_only(CableCatalog::realistic_2003());
-    section("tiny instances vs the exact optimum (ratios to OPT, 5 seeds)");
-    println!(
-        "{:>4} {:>8} {:>8} {:>8} {:>8}",
-        "n", "star", "mst", "mmp", "mmp+ls"
-    );
-    for n in [4usize, 6, 7] {
-        let ratios = average::<4>(
-            |s| {
-                let mut rng = StdRng::seed_from_u64(SEED + s);
-                let inst = Instance::random_uniform(n, 25.0, cost.clone(), &mut rng);
-                let (_, opt) = exact::solve(&inst);
-                let star = greedy::star(&inst).total_cost(&inst);
-                let mst = greedy::mst_route(&inst).total_cost(&inst);
-                let m = mmp::solve(&inst, &mut rng).total_cost(&inst);
-                let ls = greedy::mmp_plus_improve(&inst, &mut rng, 500).final_cost;
-                [star / opt, mst / opt, m / opt, ls / opt]
-            },
-            5,
-        );
-        println!(
-            "{:>4} {:>8} {:>8} {:>8} {:>8}",
-            n,
-            fmt(ratios[0]),
-            fmt(ratios[1]),
-            fmt(ratios[2]),
-            fmt(ratios[3])
-        );
-    }
-    section("larger instances (ratios to the best heuristic, 3 seeds)");
-    println!(
-        "{:>4} {:>8} {:>8} {:>8} {:>8}",
-        "n", "star", "mst", "mmp", "mmp+ls"
-    );
-    for n in [25usize, 50, 100, 200] {
-        let costs = average::<4>(
-            |s| {
-                let mut rng = StdRng::seed_from_u64(SEED + 100 + s);
-                let inst = Instance::random_uniform(n, 25.0, cost.clone(), &mut rng);
-                let star = greedy::star(&inst).total_cost(&inst);
-                let mst = greedy::mst_route(&inst).total_cost(&inst);
-                let m = mmp::solve(&inst, &mut rng).total_cost(&inst);
-                let ls = greedy::mmp_plus_improve(&inst, &mut rng, 2000).final_cost;
-                [star, mst, m, ls]
-            },
-            3,
-        );
-        let best = costs.iter().copied().fold(f64::INFINITY, f64::min);
-        println!(
-            "{:>4} {:>8} {:>8} {:>8} {:>8}",
-            n,
-            fmt(costs[0] / best),
-            fmt(costs[1] / best),
-            fmt(costs[2] / best),
-            fmt(costs[3] / best)
-        );
-    }
-    section("order sensitivity (n = 50, adversarial far-first vs random)");
-    let mut rng = StdRng::seed_from_u64(SEED + 999);
-    let inst = Instance::random_uniform(50, 25.0, cost.clone(), &mut rng);
-    // Adversarial order: farthest customers first.
-    let mut order: Vec<usize> = (1..=50).collect();
-    order.sort_by(|&a, &b| {
-        inst.node_point(b)
-            .dist(&inst.sink)
-            .partial_cmp(&inst.node_point(a).dist(&inst.sink))
-            .expect("no NaN")
-    });
-    let adversarial = mmp::solve_in_order(&inst, &order).total_cost(&inst);
-    let random = mmp::solve(&inst, &mut rng).total_cost(&inst);
-    println!("far-first order cost: {}", fmt(adversarial));
-    println!(
-        "random order cost:    {} (random order is the MMP guarantee)",
-        fmt(random)
-    );
+    hot_exp::print_scenario("e4");
 }

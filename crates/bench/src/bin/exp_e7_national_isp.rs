@@ -1,118 +1,10 @@
-//! E7 — the national-ISP pipeline (paper §2.2).
+//! National-ISP pipeline (paper §2.2): multi-level optimization with degree caps and cost/profit formulations.
 //!
-//! Claim: decomposing the design into backbone / distribution / access
-//! levels with population-driven demand yields an ISP whose "size,
-//! location and connectivity … depend largely on the number and location
-//! of its customers", with technology constraints (degree caps) and the
-//! formulation (cost vs profit) leaving visible fingerprints.
-
-use hot_bench::{banner, fmt, section, standard_geography, SEED};
-use hot_core::formulation::Formulation;
-use hot_core::isp::generator::{generate, IspConfig};
-use hot_core::isp::{LinkKind, RouterRole};
-use hot_econ::pricing::RevenueModel;
-use hot_graph::traversal::is_connected;
-use hot_metrics::degree_dist::summarize_sample;
-use hot_metrics::expfit::classify;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BTreeMap;
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e7`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E7: national ISP from a synthetic census",
-        "hierarchy (WAN/MAN/LAN) emerges from per-level optimization; \
-         degree caps bound router degrees; profit-based design serves \
-         fewer customers",
-    );
-    let (census, traffic) = standard_geography(60, SEED);
-    let base = IspConfig {
-        n_pops: 12,
-        total_customers: 1500,
-        ..IspConfig::default()
-    };
-    let formulations = [
-        ("cost-based", Formulation::CostBased),
-        (
-            "profit-based",
-            Formulation::ProfitBased {
-                // Calibrated so the marginal metro customer is borderline:
-                // attaching a mean-demand customer at the mean scatter
-                // radius costs ≈ 25 km × (σ + δ·d) ≈ 300–400 $-units.
-                revenue: RevenueModel::PerUnitDemand {
-                    base: 250.0,
-                    per_unit: 15.0,
-                },
-            },
-        ),
-    ];
-    for (name, formulation) in formulations {
-        let config = IspConfig {
-            formulation,
-            ..base.clone()
-        };
-        let mut rng = StdRng::seed_from_u64(SEED + 7);
-        let isp = generate(&census, &traffic, &config, &mut rng);
-        section(&format!("{} ISP", name));
-        println!("connected: {}", is_connected(&isp.graph));
-        println!("routers: {} total", isp.graph.node_count());
-        for role in [
-            RouterRole::Backbone,
-            RouterRole::Distribution,
-            RouterRole::Customer,
-        ] {
-            println!("  {:?}: {}", role, isp.count_role(role));
-        }
-        println!(
-            "links: {} total, {} fiber-km",
-            isp.graph.edge_count(),
-            fmt(isp.total_length())
-        );
-        for kind in [
-            LinkKind::Backbone,
-            LinkKind::Metro,
-            LinkKind::Access,
-            LinkKind::Chassis,
-        ] {
-            println!("  {:?}: {}", kind, isp.count_kind(kind));
-        }
-        println!("customers priced out: {}", isp.rejected_customers);
-        // Degree structure per role.
-        let max_deg = isp.graph.degree_sequence().into_iter().max().unwrap_or(0);
-        println!(
-            "max router degree: {} (cap {})",
-            max_deg, config.max_router_degree
-        );
-        for role in [RouterRole::Backbone, RouterRole::Distribution] {
-            let degs = isp.degree_sequence_of(role);
-            let s = summarize_sample(&degs);
-            println!(
-                "  {:?} degrees: mean {} max {} cv {}",
-                role,
-                fmt(s.mean),
-                s.max,
-                fmt(s.cv)
-            );
-        }
-        let all_degs = isp.graph.degree_sequence();
-        println!("overall degree tail: {}", classify(&all_degs).class);
-        // Cable bill of materials.
-        let mut cable_km: BTreeMap<&str, f64> = BTreeMap::new();
-        for (_, _, _, l) in isp.graph.edges() {
-            if l.kind != LinkKind::Chassis {
-                *cable_km.entry(l.cable).or_insert(0.0) += l.length;
-            }
-        }
-        println!("cable mix (fiber-km by type):");
-        for (cable, km) in cable_km {
-            println!("  {:<8} {}", cable, fmt(km));
-        }
-    }
-    println!();
-    println!(
-        "reading: the profit-based ISP serves fewer customers (positive \
-         'priced out' row) with correspondingly less access plant; both \
-         respect the router degree cap via chassis splits; big cables \
-         appear only on backbone/trunk links where flow aggregates."
-    );
+    hot_exp::print_scenario("e7");
 }

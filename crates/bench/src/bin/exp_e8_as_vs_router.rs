@@ -1,106 +1,10 @@
-//! E8 — AS-level vs router-level degree laws (paper §2.3 + §3.2).
+//! AS vs router degree laws (paper §2.3 + §3.2): heavy-tailed AS degrees over capped router degrees.
 //!
-//! Claim: "the optimization formulations … for generating the router-level
-//! graph and AS graph are very different" — router degrees are bounded by
-//! line-card technology, AS degrees are unbounded business relationships.
-//! Generating both from one economy should produce a heavy-tailed AS
-//! degree distribution over bounded router degrees.
-
-use hot_bench::{banner, section, standard_geography, SEED};
-use hot_core::isp::generator::IspConfig;
-use hot_core::peering::{generate_internet, InternetConfig};
-use hot_graph::degree::ccdf_of;
-use hot_metrics::expfit::classify;
-use hot_metrics::powerlaw::{fit_ccdf, fit_rank};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e8`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E8: AS graph vs router graph from one generated economy",
-        "AS degrees: heavy-tailed (unconstrained business relationships); \
-         router degrees: bounded/light-tailed (line-card technology)",
-    );
-    let (census, traffic) = standard_geography(30, SEED);
-    let config = InternetConfig {
-        n_isps: 60,
-        max_pops: 12,
-        size_exponent: 0.9,
-        tier1_count: 3,
-        transit_per_isp: 2,
-        peer_cities: 2,
-        customers_per_pop: 8,
-        isp_template: IspConfig {
-            max_router_degree: 12,
-            ..IspConfig::default()
-        },
-    };
-    let net = generate_internet(
-        &census,
-        &traffic,
-        &config,
-        &mut StdRng::seed_from_u64(SEED + 8),
-    );
-    section(&format!(
-        "{} ISPs generated over one shared census",
-        config.n_isps
-    ));
-    let as_degrees = net.as_degrees();
-    println!(
-        "AS graph: {} nodes, {} adjacencies",
-        as_degrees.len(),
-        net.as_graph().edge_count()
-    );
-    println!();
-    println!("AS degree CCDF:");
-    println!("k\tP[D>=k]");
-    for (k, p) in ccdf_of(&as_degrees) {
-        println!("{}\t{:.6}", k, p);
-    }
-    if let Some(f) = fit_ccdf(&as_degrees) {
-        println!(
-            "AS power-law CCDF fit: exponent {:.2}, r2 {:.4}",
-            f.exponent, f.r_squared
-        );
-    }
-    if let Some(f) = fit_rank(&as_degrees) {
-        println!(
-            "AS rank fit (Faloutsos): exponent {:.2}, r2 {:.4}",
-            f.exponent, f.r_squared
-        );
-    }
-    println!("AS tail verdict: {}", classify(&as_degrees).class);
-    section("router-level (union of all ISPs + peering links, degree cap enforced)");
-    let uncapped = net.combined_router_graph_uncapped();
-    let max_uncapped = uncapped.degree_sequence().into_iter().max().unwrap_or(0);
-    let router_graph = net.combined_router_graph();
-    let router_degrees = router_graph.degree_sequence();
-    println!(
-        "router graph: {} nodes, {} links",
-        router_graph.node_count(),
-        router_graph.edge_count()
-    );
-    let max_router = router_degrees.iter().copied().max().unwrap_or(0);
-    println!(
-        "max router degree: {} (cap {}; before chassis splits the busiest \
-         exchange router would need {} ports)",
-        max_router, config.isp_template.max_router_degree, max_uncapped
-    );
-    println!();
-    println!("router degree CCDF (truncated to k <= 20):");
-    println!("k\tP[D>=k]");
-    for (k, p) in ccdf_of(&router_degrees).into_iter().take(20) {
-        println!("{}\t{:.6}", k, p);
-    }
-    println!("router tail verdict: {}", classify(&router_degrees).class);
-    println!();
-    println!(
-        "reading: the same economy yields a max AS degree of {} across \
-         only {} ASes (heavy tail: an AS can have any number of business \
-         relationships) while line cards cap every router at degree {} — \
-         different mechanisms, different laws, as §3.2 argues.",
-        as_degrees.iter().max().unwrap(),
-        as_degrees.len(),
-        max_router
-    );
+    hot_exp::print_scenario("e8");
 }

@@ -1,175 +1,10 @@
-//! E9 — ablations of the design drivers (paper §4 fn.7, §2.4).
+//! Ablations (paper §4 fn.7, §2.4): economies of scale, redundancy vs trees, centrality proxies.
 //!
-//! Three knobs the paper calls out, each toggled with everything else
-//! fixed:
-//!
-//! (a) economies of scale on/off in the cable catalog — does buy-at-bulk
-//!     aggregation (trunking) depend on them?
-//! (b) the redundancy requirement — "adding a path redundancy requirement
-//!     breaks the tree structure of the optimal solution" (footnote 7);
-//! (c) the FKP centrality measure — how sensitive is the trade-off
-//!     regime to the exact "operation cost" proxy?
-
-use hot_bench::{banner, fmt, section, SEED};
-use hot_core::buyatbulk::{problem::Instance, routing::build_report};
-use hot_core::fkp::{classify, grow, Centrality, FkpConfig};
-use hot_core::isp::backbone::{design, BackboneConfig};
-use hot_econ::cable::CableCatalog;
-use hot_econ::cost::LinkCost;
-use hot_geo::bbox::BoundingBox;
-use hot_geo::point::Point;
-use hot_graph::flow::global_edge_connectivity;
-use hot_graph::graph::{Graph, NodeId};
-use hot_metrics::degree_dist::summarize_sample;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin wrapper: the experiment itself lives in the `hot-exp` scenario
+//! registry as `e9`. This binary runs it at full scale with the
+//! canonical seed and prints the human-readable report; use `expctl`
+//! for seeds, scales, JSON output, or the full parallel sweep.
 
 fn main() {
-    banner(
-        "E9: ablations",
-        "(a) economies of scale drive trunking; (b) redundancy breaks the \
-         tree; (c) FKP regimes survive centrality-measure changes",
-    );
-
-    // ---- (a) economies of scale ----
-    section("(a) buy-at-bulk with vs without economies of scale (n=300, 5 seeds)");
-    println!(
-        "{:>12} {:>10} {:>10} {:>10} {:>10}",
-        "catalog", "meanhops", "maxdeg", "degcv", "trunkshare"
-    );
-    let realistic = LinkCost::cables_only(CableCatalog::realistic_2003());
-    // Single cable type: same smallest tier, no upgrade path.
-    let flat = LinkCost::cables_only(CableCatalog::single(45.0, 10.0, 1.0));
-    for (name, cost) in [("scale(5-tier)", &realistic), ("flat(1-tier)", &flat)] {
-        let mut hops = 0.0;
-        let mut maxdeg = 0usize;
-        let mut cv = 0.0;
-        let mut big_share = 0.0;
-        for s in 0..5u64 {
-            let mut rng = StdRng::seed_from_u64(SEED + s);
-            let inst = Instance::random_uniform(300, 15.0, cost.clone(), &mut rng);
-            let out = hot_core::buyatbulk::greedy::mmp_plus_improve(&inst, &mut rng, 2000);
-            let rep = build_report(&inst, &out.solution);
-            hops += rep.mean_hops / 5.0;
-            let degs = out.solution.degree_sequence();
-            let sum = summarize_sample(&degs);
-            maxdeg = maxdeg.max(sum.max);
-            cv += sum.cv / 5.0;
-            // Share of fiber-km on upgraded (non-smallest) cable tiers —
-            // the footprint of trunking. A 1-tier catalog scores 0 by
-            // definition: there is nothing to upgrade to.
-            let total_km: f64 = rep.cable_km.iter().sum();
-            let trunk_km: f64 = rep.cable_km.iter().skip(1).sum();
-            if total_km > 0.0 {
-                big_share += trunk_km / total_km / 5.0;
-            }
-        }
-        println!(
-            "{:>12} {:>10} {:>10} {:>10} {:>10}",
-            name,
-            fmt(hops),
-            maxdeg,
-            fmt(cv),
-            fmt(big_share)
-        );
-    }
-    println!(
-        "reading: with economies of scale the design aggregates (deeper \
-         trees, more hops, trunk share on the big cable); flat pricing \
-         removes the incentive and the design flattens toward the star."
-    );
-
-    // ---- (b) redundancy ----
-    section("(b) backbone redundancy requirement (16 POPs, 5 seeds)");
-    println!(
-        "{:>12} {:>8} {:>10} {:>12} {:>10}",
-        "redundancy", "links", "km", "2-edge-conn", "km-premium"
-    );
-    let mut rng = StdRng::seed_from_u64(SEED + 50);
-    let pops: Vec<Point> = (0..16)
-        .map(|_| BoundingBox::square(1000.0).sample_uniform(&mut rng))
-        .collect();
-    let demand = |_: usize, _: usize| 1.0;
-    let tree_cfg = BackboneConfig {
-        redundancy: false,
-        shortcut_pairs: 0,
-        ..Default::default()
-    };
-    let ring_cfg = BackboneConfig {
-        redundancy: true,
-        shortcut_pairs: 0,
-        ..Default::default()
-    };
-    let tree = design(&pops, demand, &tree_cfg);
-    let ring = design(&pops, demand, &ring_cfg);
-    let graph_of = |edges: &[(usize, usize)]| {
-        let mut g: Graph<(), f64> = Graph::new();
-        for _ in 0..pops.len() {
-            g.add_node(());
-        }
-        for &(a, b) in edges {
-            g.add_edge(NodeId(a as u32), NodeId(b as u32), pops[a].dist(&pops[b]));
-        }
-        g
-    };
-    for (name, d) in [("off (tree)", &tree), ("on (mesh)", &ring)] {
-        let g = graph_of(&d.edges);
-        println!(
-            "{:>12} {:>8} {:>10} {:>12} {:>10}",
-            name,
-            d.edges.len(),
-            fmt(d.total_length()),
-            global_edge_connectivity(&g) >= 2,
-            fmt(d.total_length() / tree.total_length())
-        );
-    }
-    println!(
-        "reading: survivability costs a constant-factor fiber premium and \
-         the result is no longer a tree — exactly footnote 7."
-    );
-
-    // ---- (c) FKP centrality variants ----
-    section("(c) FKP centrality measure ablation (n=4000)");
-    println!(
-        "{:>16} {:>8} {:>12} {:>8} {:>8}",
-        "centrality", "alpha", "class", "maxdeg", "height"
-    );
-    for centrality in [
-        Centrality::HopsToRoot,
-        Centrality::TreeDistToRoot,
-        Centrality::None,
-    ] {
-        // The trade-off window's location depends on the centrality's
-        // units: hop counts grow ~1 per level while tree distance grows
-        // ~0.3–0.7 region units, so the same alpha weighs distance much
-        // more heavily under TreeDistToRoot. Sweep two alphas per
-        // centrality to locate the window rather than fixing one.
-        for alpha in [1.0, 1.2, 3.0, 8.0] {
-            let config = FkpConfig {
-                n: 4000,
-                alpha,
-                centrality,
-                ..FkpConfig::default()
-            };
-            let topo = grow(&config, &mut StdRng::seed_from_u64(SEED + 90));
-            let degs = topo.degree_sequence();
-            println!(
-                "{:>16} {:>8} {:>12} {:>8} {:>8}",
-                format!("{:?}", centrality),
-                fmt(alpha),
-                format!("{:?}", classify(&topo)),
-                degs.iter().max().unwrap(),
-                topo.tree.height()
-            );
-        }
-    }
-    println!(
-        "reading: the star/hub/distance progression survives changing the \
-         centrality proxy, but the hub window narrows sharply when \
-         centrality is measured in the same units as distance \
-         (TreeDistToRoot: star below alpha≈1, moderate hubs at 1.2, gone \
-         by 3). With no centrality at all (pure nearest-neighbor) hubs \
-         never form at any alpha: the trade-off itself is the causal \
-         force."
-    );
+    hot_exp::print_scenario("e9");
 }

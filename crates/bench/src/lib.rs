@@ -1,85 +1,35 @@
 //! # hot-bench — the experiment harness
 //!
-//! One binary per experiment in DESIGN.md §5 (`exp_e1_*` … `exp_e10_*`),
-//! each printing the table/series the corresponding paper claim predicts,
-//! plus Criterion micro-benchmarks (`benches/`). This library holds the
-//! small shared fixtures so every experiment uses the same geography and
-//! printing conventions.
+//! One binary per experiment (`exp_e1_*` … `exp_e14_*`), each a thin
+//! wrapper over the `hot-exp` scenario registry: it runs the registered
+//! scenario at full scale and prints the human rendering of the
+//! structured report. The shared fixtures (seed, standard geography)
+//! live in `hot_exp::fixtures` and are re-exported here for the
+//! criterion benches.
 //!
 //! Run an experiment with, e.g.:
 //!
 //! ```text
 //! cargo run --release -p hot-bench --bin exp_e3_buyatbulk_degree
 //! ```
+//!
+//! or drive the whole registry (seeds, scales, JSON export) with:
+//!
+//! ```text
+//! cargo run --release -p hot-exp --bin expctl -- --list
+//! ```
 
-use hot_geo::gravity::{GravityConfig, TrafficMatrix};
-use hot_geo::population::{Census, CensusConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Fixed seed base: every experiment derives its RNGs from this, so all
-/// tables in EXPERIMENTS.md regenerate byte-identically.
-pub const SEED: u64 = 20030617; // HotNets-II camera-ready era
-
-/// The standard synthetic geography used by the ISP-level experiments:
-/// `n_cities` Zipf cities clustered into metros, plus the gravity traffic
-/// matrix.
-pub fn standard_geography(n_cities: usize, seed: u64) -> (Census, TrafficMatrix) {
-    let census = Census::synthesize(
-        &CensusConfig {
-            n_cities,
-            ..CensusConfig::default()
-        },
-        &mut StdRng::seed_from_u64(seed),
-    );
-    let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
-    (census, traffic)
-}
-
-/// Prints an experiment banner.
-pub fn banner(id: &str, claim: &str) {
-    println!("==============================================================");
-    println!("{}", id);
-    println!("paper claim: {}", claim);
-    println!("==============================================================");
-}
-
-/// Prints a subsection heading.
-pub fn section(title: &str) {
-    println!();
-    println!("--- {} ---", title);
-}
-
-/// Formats a float compactly for table cells.
-pub fn fmt(v: f64) -> String {
-    if v == 0.0 {
-        "0".into()
-    } else if v.abs() >= 1000.0 {
-        format!("{:.0}", v)
-    } else if v.abs() >= 10.0 {
-        format!("{:.1}", v)
-    } else {
-        format!("{:.3}", v)
-    }
-}
+pub use hot_exp::fixtures::{standard_geography, SEED};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn geography_is_deterministic() {
-        let (c1, t1) = standard_geography(20, 1);
-        let (c2, t2) = standard_geography(20, 1);
+    fn geography_reexport_is_deterministic() {
+        let (c1, t1) = standard_geography(20, SEED);
+        let (c2, t2) = standard_geography(20, SEED);
         assert_eq!(c1.cities, c2.cities);
         assert_eq!(t1.demand(0, 1), t2.demand(0, 1));
-    }
-
-    #[test]
-    fn fmt_ranges() {
-        assert_eq!(fmt(0.0), "0");
-        assert_eq!(fmt(0.5), "0.500");
-        assert_eq!(fmt(25.0), "25.0");
-        assert_eq!(fmt(12345.0), "12345");
     }
 }

@@ -1,0 +1,40 @@
+//! Shared fixtures: the canonical seed and the standard geography every
+//! ISP-level scenario builds on (moved here from `hot-bench` so the
+//! scenario engine does not depend on the bench crate).
+
+use hot_geo::gravity::{GravityConfig, TrafficMatrix};
+use hot_geo::population::{Census, CensusConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fixed seed base: every experiment derives its RNGs from this, so all
+/// published tables regenerate byte-identically.
+pub const SEED: u64 = 20030617; // HotNets-II camera-ready era
+
+/// The standard synthetic geography used by the ISP-level experiments:
+/// `n_cities` Zipf cities clustered into metros, plus the gravity traffic
+/// matrix.
+pub fn standard_geography(n_cities: usize, seed: u64) -> (Census, TrafficMatrix) {
+    let census = Census::synthesize(
+        &CensusConfig {
+            n_cities,
+            ..CensusConfig::default()
+        },
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
+    (census, traffic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geography_is_deterministic() {
+        let (c1, t1) = standard_geography(20, 1);
+        let (c2, t2) = standard_geography(20, 1);
+        assert_eq!(c1.cities, c2.cities);
+        assert_eq!(t1.demand(0, 1), t2.demand(0, 1));
+    }
+}

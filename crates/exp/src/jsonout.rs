@@ -1,0 +1,270 @@
+//! Hand-rolled JSON output for the scenario engine.
+//!
+//! The workspace is offline (no serde), so the structured reports are
+//! serialized by this small module instead. The requirements that shaped
+//! it:
+//!
+//! - **Determinism.** Object members keep insertion order (`Vec` of
+//!   pairs, never a hash map) and floats render through Rust's shortest
+//!   round-trip `Display`, so the same report always serializes to the
+//!   same bytes — the property the golden-snapshot suite and the
+//!   `--threads N` byte-identity guarantee rest on.
+//! - **Valid JSON always.** Non-finite floats become `null`; strings are
+//!   escaped per RFC 8259.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    /// Unsigned 64-bit values (e.g. seeds) that may exceed `i64::MAX`.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from key/value pairs (order preserved).
+    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// String value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Array of floats.
+    pub fn floats(vs: impl IntoIterator<Item = f64>) -> Json {
+        Json::Arr(vs.into_iter().map(Json::Float).collect())
+    }
+
+    /// `Float` when present, `Null` otherwise.
+    pub fn opt_float(v: Option<f64>) -> Json {
+        v.map(Json::Float).unwrap_or(Json::Null)
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline, the
+    /// canonical form the golden files are stored in.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Serializes without any whitespace.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{}", i);
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{}", u);
+            }
+            Json::Float(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Shortest round-trip rendering; non-finite values become `null` so the
+/// output is always valid JSON.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Normalize -0.0 so two mathematically equal reports serialize
+        // identically.
+        let v = if v == 0.0 { 0.0 } else { v };
+        let _ = write!(out, "{}", v);
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.compact(), "null");
+        assert_eq!(Json::Bool(true).compact(), "true");
+        assert_eq!(Json::Int(-3).compact(), "-3");
+        assert_eq!(Json::from(u64::MAX).compact(), "18446744073709551615");
+        assert_eq!(Json::Float(2.0).compact(), "2");
+        assert_eq!(Json::Float(0.25).compact(), "0.25");
+        assert_eq!(Json::Float(-0.0).compact(), "0");
+        assert_eq!(Json::Float(f64::NAN).compact(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).compact(), "null");
+        assert_eq!(Json::str("a\"b\nc").compact(), "\"a\\\"b\\nc\"");
+    }
+
+    #[test]
+    fn object_order_is_insertion_order() {
+        let j = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
+        assert_eq!(j.compact(), "{\"z\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let j = Json::obj([
+            ("name", Json::str("e1")),
+            ("rows", Json::Arr(vec![Json::floats([1.0, 2.5])])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let text = j.pretty();
+        assert!(text.starts_with("{\n  \"name\": \"e1\""));
+        assert!(text.contains("\"empty_arr\": []"));
+        assert!(text.contains("\"empty_obj\": {}"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn pretty_is_deterministic() {
+        let build = || {
+            Json::obj([
+                ("a", Json::Float(1.0 / 3.0)),
+                ("b", Json::Arr(vec![Json::Int(1), Json::Null])),
+            ])
+        };
+        assert_eq!(build().pretty(), build().pretty());
+    }
+}

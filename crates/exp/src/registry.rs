@@ -1,0 +1,219 @@
+//! The scenario registry: E1–E14 as uniform, runnable entries.
+//!
+//! Each entry is a [`ScenarioSpec`] — id, name, one-line summary, and a
+//! `fn(RunCtx) -> ExpReport` that resolves the scale to that scenario's
+//! parameter struct and runs it. [`run_all`] executes every entry on the
+//! deterministic chunk scheduler from `hot_graph::parallel`, so the
+//! registry sweep parallelizes across scenarios while every report stays
+//! a pure function of `(params, seed)`.
+
+use crate::report::ExpReport;
+use crate::scenarios;
+use hot_graph::parallel::par_map;
+
+/// How big a run should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small fixed sizes: seconds per scenario, used by the
+    /// golden-snapshot suite and CI smoke runs.
+    Golden,
+    /// Paper-sized tables, what the `exp_e*` binaries print.
+    Full,
+}
+
+impl Scale {
+    /// The label recorded in reports and accepted by `expctl --scale`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Golden => "golden",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses an `expctl --scale` argument.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "golden" | "small" => Some(Scale::Golden),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a scenario run needs besides its parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RunCtx {
+    pub scale: Scale,
+    /// Base seed; scenarios derive all their RNG streams from it.
+    pub seed: u64,
+    /// Worker threads for the deterministic parallel kernels. Never
+    /// affects results, only wall-clock.
+    pub threads: usize,
+}
+
+/// One registered scenario.
+pub struct ScenarioSpec {
+    /// Registry id (`"e1"` … `"e14"`), the `--run` argument.
+    pub id: &'static str,
+    /// Short machine name (`"fkp-regimes"`).
+    pub name: &'static str,
+    /// One-line summary for `expctl --list`.
+    pub summary: &'static str,
+    /// Runs the scenario at the context's scale.
+    pub run: fn(RunCtx) -> ExpReport,
+}
+
+macro_rules! spec {
+    ($id:literal, $module:ident, $name:literal, $summary:literal) => {
+        ScenarioSpec {
+            id: $id,
+            name: $name,
+            summary: $summary,
+            run: |ctx| {
+                scenarios::$module::run(&scenarios::$module::Params::for_scale(ctx.scale), ctx)
+            },
+        }
+    };
+}
+
+static REGISTRY: [ScenarioSpec; 14] = [
+    spec!(
+        "e1",
+        e1,
+        "fkp-regimes",
+        "FKP trade-off regimes: star -> hub trees -> distance trees as alpha grows"
+    ),
+    spec!(
+        "e2",
+        e2,
+        "fkp-ccdf",
+        "FKP degree CCDFs: power-law vs exponential by trade-off weight"
+    ),
+    spec!(
+        "e3",
+        e3,
+        "buyatbulk-degree",
+        "MMP buy-at-bulk designs are trees with exponential degree distributions"
+    ),
+    spec!(
+        "e4",
+        e4,
+        "buyatbulk-cost",
+        "buy-at-bulk solution quality vs exact optimum and classic baselines"
+    ),
+    spec!(
+        "e5",
+        e5,
+        "plr-powerlaw",
+        "PLR: optimized designs produce power-law loss tails at minimal expected loss"
+    ),
+    spec!(
+        "e6",
+        e6,
+        "generator-matrix",
+        "generator x metric matrix: degree-matched graphs diverge on other metrics"
+    ),
+    spec!(
+        "e7",
+        e7,
+        "national-isp",
+        "national ISP pipeline: hierarchy, degree caps, cost vs profit formulations"
+    ),
+    spec!(
+        "e8",
+        e8,
+        "as-vs-router",
+        "AS degrees heavy-tailed, router degrees capped, from one generated economy"
+    ),
+    spec!(
+        "e9",
+        e9,
+        "ablations",
+        "ablations: economies of scale, redundancy breaks trees, centrality proxies"
+    ),
+    spec!(
+        "e10",
+        e10,
+        "robustness",
+        "robust yet fragile: random failure vs degree-targeted attack"
+    ),
+    spec!(
+        "e11",
+        e11,
+        "level2-ring",
+        "Level-2 ablation: buy-at-bulk tree vs SONET ring from identical demand"
+    ),
+    spec!(
+        "e12",
+        e12,
+        "routing-load",
+        "routing load on designed vs degree-matched topologies; failure response"
+    ),
+    spec!(
+        "e13",
+        e13,
+        "policy-inflation",
+        "valley-free BGP: policy inflates paths on the generated AS graph"
+    ),
+    spec!(
+        "e14",
+        e14,
+        "traceroute-bias",
+        "traceroute sampling understates redundancy on meshy ground truths"
+    ),
+];
+
+/// All registered scenarios, in E-number order.
+pub fn registry() -> &'static [ScenarioSpec] {
+    &REGISTRY
+}
+
+/// Looks a scenario up by id (`"e7"`) or name (`"national-isp"`).
+pub fn find(key: &str) -> Option<&'static ScenarioSpec> {
+    REGISTRY.iter().find(|s| s.id == key || s.name == key)
+}
+
+/// Runs every registered scenario and returns the reports in registry
+/// order. Scenarios execute in parallel on `ctx.threads` workers via the
+/// fixed-chunk scheduler; because each report is a pure function of
+/// `(params, seed)`, the output is identical at every thread count.
+pub fn run_all(ctx: RunCtx) -> Vec<ExpReport> {
+    let specs = registry();
+    // When the outer map is parallel, give each scenario's internal
+    // kernels a single worker so `--all --threads N` spawns ~N OS
+    // threads instead of N². Results are thread-count-independent, so
+    // this only shapes wall-clock.
+    let inner = RunCtx {
+        threads: if ctx.threads > 1 { 1 } else { ctx.threads },
+        ..ctx
+    };
+    par_map(specs, ctx.threads, |_, spec| (spec.run)(inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_fourteen_in_order() {
+        let ids: Vec<&str> = registry().iter().map(|s| s.id).collect();
+        let expected: Vec<String> = (1..=14).map(|i| format!("e{}", i)).collect();
+        assert_eq!(ids, expected.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn find_by_id_and_name() {
+        assert_eq!(find("e10").map(|s| s.name), Some("robustness"));
+        assert_eq!(find("robustness").map(|s| s.id), Some("e10"));
+        assert!(find("e15").is_none());
+    }
+
+    #[test]
+    fn names_and_ids_are_unique() {
+        let mut keys: Vec<&str> = registry().iter().flat_map(|s| [s.id, s.name]).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+}

@@ -1,0 +1,251 @@
+//! E6 — the generator × metric matrix (paper §1 + §3.2, after
+//! Tangmunarunkit et al. \[30\]).
+//!
+//! Claim: "any particular choice [of metrics] tends to yield a generated
+//! topology that matches observations on the chosen metrics but looks
+//! very dissimilar on others." Degree-based, structural, and
+//! optimization-driven topologies with comparable sizes get the full
+//! metric battery side by side.
+
+use crate::fixtures::standard_geography;
+use crate::jsonout::Json;
+use crate::registry::{RunCtx, Scale};
+use crate::report::{ExpReport, Section, Table};
+use hot_baselines::{ba, brite, glp, plrg, random, transit_stub, waxman};
+use hot_core::buyatbulk::{mmp, problem::Instance};
+use hot_core::fkp::{grow, FkpConfig};
+use hot_core::isp::generator::{generate, IspConfig};
+use hot_econ::cable::CableCatalog;
+use hot_econ::cost::LinkCost;
+use hot_metrics::report::MetricValue;
+use hot_metrics::MetricReport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Target node count for the non-ISP generators.
+    pub n: usize,
+    /// Cities in the synthetic census behind the ISP rows.
+    pub cities: usize,
+    pub isp_pops: usize,
+    pub isp_customers: usize,
+    /// Transit-stub shape `(transit_domains, transit_size,
+    /// stubs_per_transit_node, stub_size)`.
+    pub transit_stub: (usize, usize, usize, usize),
+    /// Degree-preserving rewires per edge for the surrogate row.
+    pub surrogate_swaps: usize,
+}
+
+impl Params {
+    pub fn golden() -> Params {
+        // Sizes are tuned so the full battery (including the dense
+        // spectral pass, whose power iteration is the cost ceiling)
+        // stays a few seconds in debug builds.
+        Params {
+            n: 100,
+            cities: 12,
+            isp_pops: 4,
+            isp_customers: 50,
+            transit_stub: (2, 4, 3, 4),
+            surrogate_swaps: 10,
+        }
+    }
+
+    pub fn full() -> Params {
+        Params {
+            n: 1000,
+            cities: 40,
+            isp_pops: 10,
+            isp_customers: 800,
+            transit_stub: (4, 6, 5, 8),
+            surrogate_swaps: 10,
+        }
+    }
+
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Golden => Params::golden(),
+            Scale::Full => Params::full(),
+        }
+    }
+}
+
+fn metric_json(v: &MetricValue) -> Json {
+    match v {
+        MetricValue::Int(i) => Json::Int(*i as i64),
+        MetricValue::Float(f) => Json::Float(*f),
+        MetricValue::OptFloat(o) => Json::opt_float(*o),
+        MetricValue::Text(s) => Json::str(s.clone()),
+    }
+}
+
+/// Renders a slice of [`MetricReport`]s as one structured table, columns
+/// taken from [`MetricReport::key_values`].
+pub fn metric_matrix(reports: &[MetricReport]) -> Table {
+    let columns: Vec<&'static str> = match reports.first() {
+        Some(r) => r.key_values().iter().map(|(k, _)| *k).collect(),
+        None => Vec::new(),
+    };
+    let mut table = Table::new(&columns);
+    for r in reports {
+        table.push(r.key_values().iter().map(|(_, v)| metric_json(v)).collect());
+    }
+    table
+}
+
+/// Builds the ten-row generator battery at the given size.
+pub fn generator_reports(p: &Params, seed: u64) -> Vec<MetricReport> {
+    let n = p.n;
+    let mut reports = Vec::new();
+    // --- optimization-driven family ---
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = grow(
+            &FkpConfig {
+                n,
+                alpha: 10.0,
+                ..FkpConfig::default()
+            },
+            &mut rng,
+        );
+        reports.push(MetricReport::compute("fkp(a=10)", &topo.to_graph()));
+        let topo = grow(
+            &FkpConfig {
+                n,
+                alpha: 4.0 * n as f64,
+                ..FkpConfig::default()
+            },
+            &mut rng,
+        );
+        reports.push(MetricReport::compute("fkp(a=4n)", &topo.to_graph()));
+    }
+    {
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let cost = LinkCost::cables_only(CableCatalog::realistic_2003());
+        let inst = Instance::random_uniform(n - 1, 15.0, cost, &mut rng);
+        let sol = mmp::solve(&inst, &mut rng);
+        reports.push(MetricReport::compute("buy-at-bulk", &sol.to_graph(&inst)));
+    }
+    let isp_config = IspConfig {
+        n_pops: p.isp_pops,
+        total_customers: p.isp_customers,
+        ..IspConfig::default()
+    };
+    // Built once; the degree-preserving surrogate row at the end rewires
+    // this same graph.
+    let isp = {
+        let (census, traffic) = standard_geography(p.cities, seed + 2);
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        generate(&census, &traffic, &isp_config, &mut rng)
+    };
+    reports.push(MetricReport::compute("isp(full)", &isp.graph));
+    // --- degree-based family ---
+    {
+        let mut rng = StdRng::seed_from_u64(seed + 3);
+        reports.push(MetricReport::compute(
+            "ba(m=2)",
+            &ba::generate(n, 2, &mut rng),
+        ));
+        let g = glp::generate(
+            &glp::GlpConfig {
+                n,
+                ..glp::GlpConfig::default()
+            },
+            &mut rng,
+        );
+        reports.push(MetricReport::compute("glp", &g));
+        reports.push(MetricReport::compute(
+            "plrg(g=2.2)",
+            &plrg::generate(n, 2.2, 1, &mut rng),
+        ));
+    }
+    // --- structural family ---
+    {
+        let mut rng = StdRng::seed_from_u64(seed + 4);
+        let g = waxman::generate(
+            &waxman::WaxmanConfig {
+                n,
+                alpha: 0.1,
+                beta: 0.25,
+                ..waxman::WaxmanConfig::default()
+            },
+            &mut rng,
+        );
+        reports.push(MetricReport::compute("waxman", &g));
+        let (td, ts, spt, ss) = p.transit_stub;
+        let tsg = transit_stub::generate(
+            &transit_stub::TransitStubConfig {
+                transit_domains: td,
+                transit_size: ts,
+                stubs_per_transit_node: spt,
+                stub_size: ss,
+                ..transit_stub::TransitStubConfig::default()
+            },
+            &mut rng,
+        );
+        reports.push(MetricReport::compute("transit-stub", &tsg));
+        let b = brite::generate(
+            &brite::BriteConfig {
+                n,
+                ..brite::BriteConfig::default()
+            },
+            &mut rng,
+        );
+        reports.push(MetricReport::compute("brite", &b));
+    }
+    // --- null model, edge-matched to BA(m=2) ---
+    {
+        let mut rng = StdRng::seed_from_u64(seed + 5);
+        let g = random::gnm(n, 2 * n - 3, &mut rng);
+        reports.push(MetricReport::compute("gnm(matched)", &g));
+    }
+    // --- the sharpest control: the ISP graph's own degree-preserving
+    //     surrogate — identical degree sequence, randomized wiring ---
+    {
+        let mut rng = StdRng::seed_from_u64(seed + 6);
+        let surrogate =
+            hot_metrics::surrogate::degree_surrogate(&isp.graph, p.surrogate_swaps, &mut rng);
+        reports.push(MetricReport::compute("isp-surrogate", &surrogate));
+    }
+    reports
+}
+
+pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
+    let mut report = ExpReport::new(
+        "e6",
+        "generator-matrix",
+        "E6: generator x metric matrix",
+        "generators matched on one metric (size / degree law) differ \
+         visibly on clustering, expansion, resilience, distortion, \
+         hierarchy, and spectrum",
+        ctx,
+    );
+    report.param("n", p.n);
+    report.param("cities", p.cities);
+    report.param("isp_pops", p.isp_pops);
+    report.param("isp_customers", p.isp_customers);
+    if p.n < 10 || p.cities < 2 || p.isp_pops == 0 || p.isp_customers == 0 {
+        return report.into_skipped(format!(
+            "degenerate parameters: n = {}, cities = {}, pops = {}, customers = {}",
+            p.n, p.cities, p.isp_pops, p.isp_customers
+        ));
+    }
+    let reports = generator_reports(p, ctx.seed);
+    report.section(
+        Section::new("metric matrix")
+            .table(metric_matrix(&reports))
+            .note(
+                "ba/glp/plrg and fkp(a=10) all show heavy tails (high maxk, \
+                 cv), but differ sharply in clustering, expansion, \
+                 resilience, and distortion; the optimization-driven rows \
+                 pay geography (high distortion = tree-like, gini = backbone \
+                 concentration) that the degree-based rows lack. The last \
+                 row is the acid test: isp-surrogate has the ISP's EXACT \
+                 degree sequence, yet rewiring destroys the designed \
+                 structure (diameter and mean distance balloon) — the \
+                 degree distribution alone does not pin down the topology.",
+            ),
+    );
+    report
+}

@@ -99,6 +99,33 @@ where
     collected
 }
 
+/// Deterministic parallel map: applies `f` to every element of `items`
+/// on `threads` workers through the fixed-chunk scheduler and returns
+/// the results in input order.
+///
+/// `f` receives `(index, &item)` and must be a pure function of them for
+/// the determinism guarantee to mean anything; under that contract the
+/// output is identical at every thread count. This is the entry point
+/// the scenario engine (`hot-exp`) fans E1–E14 out over.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let parts = run_chunks(
+        items.len(),
+        threads,
+        || (),
+        |_, range| range.map(|i| f(i, &items[i])).collect::<Vec<U>>(),
+    );
+    let mut out = Vec::with_capacity(items.len());
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    out
+}
+
 /// Betweenness centrality of every node (unweighted shortest paths, each
 /// unordered pair counted once, endpoints excluded) computed on `threads`
 /// worker threads.
@@ -276,6 +303,21 @@ mod tests {
             }
             assert_eq!(covered, (0..len).collect::<Vec<_>>(), "len {}", len);
         }
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_every_thread_count() {
+        let items: Vec<usize> = (0..137).collect();
+        let expected: Vec<usize> = items.iter().map(|&v| v * v + 1).collect();
+        for threads in [1, 2, 5, 8] {
+            let got = par_map(&items, threads, |i, &v| {
+                assert_eq!(i, v);
+                v * v + 1
+            });
+            assert_eq!(got, expected, "threads = {}", threads);
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &v| v).is_empty());
     }
 
     #[test]

@@ -53,6 +53,19 @@ pub struct MetricReport {
     pub algebraic_connectivity: Option<f64>,
 }
 
+/// One metric cell in structured, serialization-ready form — what the
+/// scenario engine's JSON export consumes via
+/// [`MetricReport::key_values`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Int(u64),
+    Float(f64),
+    /// A metric that may be undefined for this graph (e.g. spectral
+    /// summaries skipped above [`SPECTRAL_LIMIT`]).
+    OptFloat(Option<f64>),
+    Text(String),
+}
+
 impl MetricReport {
     /// Computes the full report for a graph.
     pub fn compute<N, E>(name: impl Into<String>, g: &Graph<N, E>) -> Self {
@@ -88,6 +101,44 @@ impl MetricReport {
             spectral_radius: spectral.map(|s| s.radius),
             algebraic_connectivity: spectral.map(|s| s.algebraic_connectivity),
         }
+    }
+
+    /// The full metric vector as ordered `(key, value)` pairs — the
+    /// structured face of the report. The human table ([`row`](Self::row))
+    /// shows a fixed-width subset; this is the complete, machine-readable
+    /// form the E6 scenario serializes, in a stable order.
+    pub fn key_values(&self) -> Vec<(&'static str, MetricValue)> {
+        use MetricValue::*;
+        vec![
+            ("generator", Text(self.name.clone())),
+            ("nodes", Int(self.nodes as u64)),
+            ("edges", Int(self.edges as u64)),
+            ("components", Int(self.components as u64)),
+            ("giant_fraction", Float(self.giant_fraction)),
+            ("mean_degree", Float(self.degree.mean)),
+            ("max_degree", Int(self.degree.max as u64)),
+            ("degree_cv", Float(self.degree.cv)),
+            ("leaf_fraction", Float(self.degree.leaf_fraction)),
+            ("powerlaw_exponent", OptFloat(self.powerlaw_exponent)),
+            ("tail", Text(self.tail.to_string())),
+            ("clustering", Float(self.mean_clustering)),
+            ("assortativity", OptFloat(self.assortativity)),
+            ("mean_distance", Float(self.mean_distance)),
+            ("diameter", Int(self.diameter as u64)),
+            ("expansion3", Float(self.expansion3)),
+            ("resilience", Float(self.resilience)),
+            ("distortion", Float(self.distortion)),
+            ("betweenness_gini", Float(self.hierarchy.betweenness_gini)),
+            (
+                "betweenness_top_decile",
+                Float(self.hierarchy.top_decile_share),
+            ),
+            ("spectral_radius", OptFloat(self.spectral_radius)),
+            (
+                "algebraic_connectivity",
+                OptFloat(self.algebraic_connectivity),
+            ),
+        ]
     }
 
     /// Header row matching [`row`](Self::row).
@@ -176,6 +227,33 @@ mod tests {
         assert!((r.distortion - 1.0).abs() < 1e-12);
         assert!(r.hierarchy.betweenness_gini > 0.9);
         assert!(r.spectral_radius.is_some());
+    }
+
+    #[test]
+    fn key_values_track_the_report() {
+        let r = MetricReport::compute("star", &star(50));
+        let kv = r.key_values();
+        // Keys are unique and lead with the generator name.
+        let mut keys: Vec<&str> = kv.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys[0], "generator");
+        keys.sort_unstable();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+        let get = |key: &str| {
+            kv.iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("generator"), MetricValue::Text("star".into()));
+        assert_eq!(get("nodes"), MetricValue::Int(50));
+        assert_eq!(get("max_degree"), MetricValue::Int(49));
+        assert_eq!(get("diameter"), MetricValue::Int(2));
+        match get("spectral_radius") {
+            MetricValue::OptFloat(Some(v)) => assert!(v > 0.0),
+            other => panic!("expected spectral radius, got {:?}", other),
+        }
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Golden-snapshot suite for the scenario engine.
+//!
+//! Every registered scenario runs at `Scale::Golden` with the canonical
+//! seed and its full structured JSON output is diffed against the
+//! checked-in snapshot in `tests/golden/<id>.json`. Any behavioral
+//! change to an experiment — intended or not — shows up as a diff here.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test exp_golden
+//! git diff tests/golden/   # review what actually changed
+//! ```
+
+use hot_exp::registry::{self, RunCtx, Scale};
+use hot_exp::report::ExpStatus;
+use hot_exp::SEED;
+use std::path::PathBuf;
+
+fn golden_path(id: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}.json", id))
+}
+
+fn ctx(threads: usize) -> RunCtx {
+    RunCtx {
+        scale: Scale::Golden,
+        seed: SEED,
+        threads,
+    }
+}
+
+/// Runs one scenario at golden scale and compares (or, with
+/// `UPDATE_GOLDEN=1`, rewrites) its snapshot.
+fn check(id: &str) {
+    let spec = registry::find(id).expect("scenario is registered");
+    let report = (spec.run)(ctx(hotgen::graph::parallel::default_threads()));
+    assert_eq!(report.scenario, id, "report id must match the registry id");
+    assert_eq!(
+        report.status,
+        ExpStatus::Ok,
+        "golden-scale parameters must not be degenerate for {}",
+        id
+    );
+    let json = report.to_json().pretty();
+    let path = golden_path(id);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &json).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden snapshot {}; regenerate with UPDATE_GOLDEN=1 \
+             cargo test --test exp_golden",
+            path.display()
+        )
+    });
+    if expected != json {
+        // Point at the first differing line so the failure is readable
+        // without a 500-line assert_eq dump.
+        let line = expected
+            .lines()
+            .zip(json.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| expected.lines().count().min(json.lines().count()) + 1);
+        panic!(
+            "{} diverged from its golden snapshot at line {} \
+             (UPDATE_GOLDEN=1 cargo test --test exp_golden to accept):\n\
+             expected: {}\n\
+             actual:   {}",
+            id,
+            line,
+            expected.lines().nth(line - 1).unwrap_or("<eof>"),
+            json.lines().nth(line - 1).unwrap_or("<eof>"),
+        );
+    }
+}
+
+macro_rules! golden {
+    ($($name:ident => $id:literal),+ $(,)?) => {
+        $(#[test]
+        fn $name() {
+            check($id);
+        })+
+    };
+}
+
+golden! {
+    golden_e1_fkp_regimes => "e1",
+    golden_e2_fkp_ccdf => "e2",
+    golden_e3_buyatbulk_degree => "e3",
+    golden_e4_buyatbulk_cost => "e4",
+    golden_e5_plr_powerlaw => "e5",
+    golden_e6_generator_matrix => "e6",
+    golden_e7_national_isp => "e7",
+    golden_e8_as_vs_router => "e8",
+    golden_e9_ablations => "e9",
+    golden_e10_robustness => "e10",
+    golden_e11_level2_ring => "e11",
+    golden_e12_routing_load => "e12",
+    golden_e13_policy_inflation => "e13",
+    golden_e14_traceroute_bias => "e14",
+}
+
+/// The registry and the golden directory must stay in one-to-one
+/// correspondence: a scenario added without a snapshot (or a stale
+/// snapshot left behind) fails here.
+#[test]
+fn golden_directory_matches_registry() {
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        return; // files may legitimately be mid-regeneration
+    }
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("tests/golden exists")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter(|n| n.ends_with(".json"))
+        .map(|n| n.trim_end_matches(".json").to_string())
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = registry::registry()
+        .iter()
+        .map(|s| s.id.to_string())
+        .collect();
+    expected.sort();
+    assert_eq!(on_disk, expected);
+}
+
+/// Thread count must never leak into the structured output. The full
+/// sweep is exercised in CI (`expctl --all --threads 1` vs `8` diffed
+/// byte-for-byte); here the three scenarios that use the parallel
+/// kernels run at 1 and 4 workers.
+#[test]
+fn thread_count_does_not_change_reports() {
+    for id in ["e1", "e10", "e12"] {
+        let spec = registry::find(id).expect("registered");
+        let serial = (spec.run)(ctx(1)).to_json().pretty();
+        let parallel = (spec.run)(ctx(4)).to_json().pretty();
+        assert_eq!(serial, parallel, "{} output depends on thread count", id);
+    }
+}
+
+/// Degenerate parameters skip instead of panicking, and the skip is
+/// visible in the structured output.
+#[test]
+fn degenerate_params_skip_cleanly() {
+    use hot_exp::scenarios::{e1, e5};
+    let report = e1::run(
+        &e1::Params {
+            n: 1,
+            alphas: vec![1.0],
+            seeds_per_alpha: 1,
+        },
+        ctx(1),
+    );
+    match &report.status {
+        ExpStatus::Skipped { reason } => assert!(reason.contains("n = 1"), "{}", reason),
+        other => panic!("expected skip, got {:?}", other),
+    }
+    let json = report.to_json().pretty();
+    assert!(json.contains("\"status\": \"skipped\""));
+    let report = e5::run(
+        &e5::Params {
+            n_cells: 0,
+            resolution: 0,
+            samples: 0,
+            ccdf_steps: 5,
+        },
+        ctx(1),
+    );
+    assert!(matches!(report.status, ExpStatus::Skipped { .. }));
+}

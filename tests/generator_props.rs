@@ -1,0 +1,99 @@
+//! Property tests (vendored proptest) for generator invariants.
+//!
+//! The scenario engine leans on structural guarantees the generators
+//! are supposed to keep across *all* parameters and seeds, not just the
+//! golden ones: FKP grows spanning trees, and the degree-based /
+//! structural baselines emit simple graphs (no self-loops, no parallel
+//! edges). These lock those invariants down.
+
+use hotgen::baselines::{ba, glp, waxman};
+use hotgen::core::fkp::{self, FkpConfig};
+use hotgen::graph::traversal::is_connected;
+use hotgen::graph::tree::is_tree;
+use hotgen::graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `(self_loops, duplicate_edges)` of a graph.
+fn simplicity<N, E>(g: &Graph<N, E>) -> (usize, usize) {
+    let mut seen = std::collections::HashSet::new();
+    let mut self_loops = 0;
+    let mut duplicates = 0;
+    for (_, a, b, _) in g.edges() {
+        if a == b {
+            self_loops += 1;
+        }
+        let key = (a.min(b), a.max(b));
+        if !seen.insert(key) {
+            duplicates += 1;
+        }
+    }
+    (self_loops, duplicates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn fkp_grows_connected_spanning_trees(
+        n in 2usize..120,
+        alpha in 0.1f64..50.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let topo = fkp::grow(
+            &FkpConfig { n, alpha, ..FkpConfig::default() },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let g = topo.to_graph();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n - 1, "a tree has n-1 edges");
+        prop_assert!(is_tree(&g), "n = {}, alpha = {}, seed = {}", n, alpha, seed);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ba_outputs_are_simple_graphs(
+        n in 5usize..150,
+        m in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = ba::generate(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.node_count(), n);
+        let (self_loops, duplicates) = simplicity(&g);
+        prop_assert_eq!(self_loops, 0, "n = {}, m = {}, seed = {}", n, m, seed);
+        prop_assert_eq!(duplicates, 0, "n = {}, m = {}, seed = {}", n, m, seed);
+    }
+
+    #[test]
+    fn glp_outputs_are_simple_graphs(
+        n in 10usize..150,
+        p in 0.05f64..0.95,
+        beta in -1.0f64..0.9,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = glp::generate(
+            &glp::GlpConfig { n, m: 2, p, beta },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let (self_loops, duplicates) = simplicity(&g);
+        prop_assert_eq!(self_loops, 0, "n = {}, p = {}, beta = {}, seed = {}", n, p, beta, seed);
+        prop_assert_eq!(duplicates, 0, "n = {}, p = {}, beta = {}, seed = {}", n, p, beta, seed);
+    }
+
+    #[test]
+    fn waxman_outputs_are_simple_graphs(
+        n in 5usize..150,
+        alpha in 0.05f64..1.0,
+        beta in 0.05f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = waxman::generate(
+            &waxman::WaxmanConfig { n, alpha, beta, ..waxman::WaxmanConfig::default() },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        prop_assert_eq!(g.node_count(), n);
+        let (self_loops, duplicates) = simplicity(&g);
+        prop_assert_eq!(self_loops, 0, "n = {}, seed = {}", n, seed);
+        prop_assert_eq!(duplicates, 0, "n = {}, seed = {}", n, seed);
+    }
+}

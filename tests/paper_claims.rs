@@ -235,6 +235,77 @@ fn claim_e10_attack_giant_well_below_random() {
     );
 }
 
+/// E1 via the scenario registry: the full star → heavy-tailed hub tree →
+/// exponential distance tree transition, asserted on the typed regime
+/// rows the `e1` scenario itself computes.
+#[test]
+fn claim_e1_regime_transition_via_scenario_structs() {
+    use hot_exp::scenarios::e1;
+    use hotgen::core::fkp::TopologyClass;
+    let p = e1::Params {
+        n: 800,
+        alphas: vec![0.5, 6.0, 800.0],
+        seeds_per_alpha: 1,
+    };
+    let rows = e1::regime_rows(&p, 8);
+    assert_eq!(rows.len(), 3);
+    // alpha < 1/sqrt(2): everything attaches to the root.
+    assert_eq!(rows[0].class, TopologyClass::Star);
+    assert!(
+        rows[0].root_share > 0.95,
+        "root share {}",
+        rows[0].root_share
+    );
+    // Intermediate alpha: hubs at many scales, heavy-tailed degrees.
+    assert_eq!(rows[1].class, TopologyClass::HubTree);
+    assert_eq!(rows[1].tail, TailClass::PowerLaw);
+    // alpha = Omega(sqrt(n)) (here alpha = n): distance-dominated,
+    // bounded degrees with an exponential tail.
+    assert_eq!(rows[2].class, TopologyClass::DistanceTree);
+    assert_eq!(rows[2].tail, TailClass::Exponential);
+    // The hub regime's maximum degree dwarfs the distance regime's.
+    assert!(
+        rows[1].max_deg > 10 * rows[2].max_deg,
+        "hub {} vs distance {}",
+        rows[1].max_deg,
+        rows[2].max_deg
+    );
+}
+
+/// E5 via the scenario registry: the PLR loss CCDF of the HOT-optimal
+/// design is classified as a power-law tail (straight log-log line over
+/// the sampled range) while still minimizing expected loss; the generic
+/// designs have far lighter tails.
+#[test]
+fn claim_e5_plr_powerlaw_tail_via_scenario_structs() {
+    use hot_exp::scenarios::e5;
+    let p = e5::Params {
+        n_cells: 100,
+        resolution: 50_000,
+        samples: 20_000,
+        ccdf_steps: 20,
+    };
+    let curves = e5::design_curves(&p, 42);
+    let hot = &curves[0];
+    let uniform = &curves[1];
+    assert_eq!(hot.name, "hot-optimal");
+    assert_eq!(uniform.name, "uniform-grid");
+    // The optimized design wins on the objective...
+    assert!(hot.expected_loss < uniform.expected_loss);
+    // ...and its loss CCDF is power-law: a straight line on log-log
+    // axes (high r²) with a genuine slope, spanning the sampled range.
+    let (slope, r2) = hot.loglog_fit.expect("hot-optimal CCDF has a log-log fit");
+    assert!(r2 > 0.9, "log-log r² {}", r2);
+    assert!(slope > 0.1, "log-log slope {}", slope);
+    // Generic placement has a far lighter tail.
+    assert!(
+        hot.tail_ratio > 5.0 * uniform.tail_ratio,
+        "hot p99/median {} vs uniform {}",
+        hot.tail_ratio,
+        uniform.tail_ratio
+    );
+}
+
 /// §1: two generators matched on the degree-tail class still differ on
 /// other metrics (the critique of descriptive modeling).
 #[test]
