@@ -1,0 +1,100 @@
+//! Traffic-engine micro-benchmarks: demand-matrix construction, the
+//! batched link-load engine (serial vs parallel, tree-path vs ECMP),
+//! and the naive per-flow baseline it replaces. CI runs this harness
+//! with `CRITERION_JSON=BENCH_traffic.json` so the engine's perf
+//! trajectory is tracked per commit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hot_baselines::glp;
+use hot_graph::csr::CsrGraph;
+use hot_graph::parallel::{bfs_forest, default_threads};
+use hot_graph::NodeId;
+use hot_sim::demand::{DemandConfig, DemandMatrix, DemandModel, OdDemand};
+use hot_sim::traffic::{link_loads, link_loads_multi, naive_link_load, RoutePolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_traffic(c: &mut Criterion) {
+    let g = glp::generate(
+        &glp::GlpConfig {
+            n: 2000,
+            ..glp::GlpConfig::default()
+        },
+        &mut StdRng::seed_from_u64(20030617),
+    );
+    let csr = CsrGraph::from_graph(&g);
+    let threads = default_threads();
+    let cfg = |model| DemandConfig {
+        model,
+        ..DemandConfig::default()
+    };
+    let gravity = DemandMatrix::build(
+        &csr,
+        None,
+        &cfg(DemandModel::Gravity {
+            distance_exponent: 1.0,
+        }),
+    );
+    let uniform = DemandMatrix::build(&csr, None, &cfg(DemandModel::Uniform));
+    let ranked = DemandMatrix::build(&csr, None, &cfg(DemandModel::RankBiased { exponent: 1.0 }));
+
+    let mut group = c.benchmark_group("traffic_glp2000");
+    group.sample_size(10);
+    group.bench_function("demand_build_gravity", |b| {
+        b.iter(|| {
+            black_box(DemandMatrix::build(
+                &csr,
+                None,
+                &cfg(DemandModel::Gravity {
+                    distance_exponent: 1.0,
+                }),
+            ))
+        })
+    });
+    // All-pairs (~4M OD flows) through the batched engine.
+    group.bench_function("batched_allpairs_serial", |b| {
+        b.iter(|| black_box(link_loads(&csr, &gravity, RoutePolicy::TreePath, 1)))
+    });
+    group.bench_function(format!("batched_allpairs_par{}", threads).as_str(), |b| {
+        b.iter(|| black_box(link_loads(&csr, &gravity, RoutePolicy::TreePath, threads)))
+    });
+    group.bench_function(format!("batched_ecmp_par{}", threads).as_str(), |b| {
+        b.iter(|| black_box(link_loads(&csr, &gravity, RoutePolicy::Ecmp, threads)))
+    });
+    // Three models sharing one BFS per source.
+    group.bench_function(format!("batched_3models_par{}", threads).as_str(), |b| {
+        let refs: [&dyn OdDemand; 3] = [&gravity, &uniform, &ranked];
+        b.iter(|| {
+            black_box(link_loads_multi(
+                &csr,
+                &refs,
+                RoutePolicy::TreePath,
+                threads,
+            ))
+        })
+    });
+    group.finish();
+
+    // The per-flow baseline on a 400-source band (materialized flows +
+    // tree cache + per-flow walks) vs the batched engine on the same
+    // band — the speedup the differential suite release-arms.
+    let sources: Vec<NodeId> = (0..400u32).map(NodeId).collect();
+    let flows = gravity.flows_from(&sources);
+    let mut baseline = c.benchmark_group("traffic_glp2000_band400");
+    baseline.sample_size(10);
+    baseline.bench_function("naive_per_flow", |b| {
+        let forest = bfs_forest(&csr, &sources, 1);
+        b.iter(|| black_box(naive_link_load(&csr, &forest, &flows)))
+    });
+    baseline.bench_function("naive_with_forest_build", |b| {
+        b.iter(|| {
+            let forest = bfs_forest(&csr, &sources, 1);
+            black_box(naive_link_load(&csr, &forest, &flows))
+        })
+    });
+    baseline.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

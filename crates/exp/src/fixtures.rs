@@ -1,9 +1,13 @@
-//! Shared fixtures: the canonical seed and the standard geography every
+//! Shared fixtures: the canonical seed, the standard geography every
 //! ISP-level scenario builds on (moved here from `hot-bench` so the
-//! scenario engine does not depend on the bench crate).
+//! scenario engine does not depend on the bench crate), and the
+//! customer-demand workload the traffic scenarios route.
 
+use hot_core::isp::{IspTopology, RouterRole};
 use hot_geo::gravity::{GravityConfig, TrafficMatrix};
+use hot_geo::point::Point;
 use hot_geo::population::{Census, CensusConfig};
+use hot_sim::demand::DemandMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,6 +28,37 @@ pub fn standard_geography(n_cities: usize, seed: u64) -> (Census, TrafficMatrix)
     );
     let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
     (census, traffic)
+}
+
+/// Demand masses of an ISP's *customers*: 1 on customer routers, 0 on
+/// infrastructure, plus every router's location — the inputs of the
+/// customer-level demand matrices.
+pub fn customer_masses(isp: &IspTopology) -> (Vec<f64>, Vec<Point>) {
+    let mass = isp
+        .graph
+        .node_ids()
+        .map(|v| {
+            if isp.graph.node_weight(v).role == RouterRole::Customer {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let positions = isp
+        .graph
+        .node_ids()
+        .map(|v| isp.graph.node_weight(v).location)
+        .collect();
+    (mass, positions)
+}
+
+/// The canonical customer workload of the traffic scenarios (E15/E16):
+/// gravity demand between the ISP's customers over router geography
+/// (γ = 1, unit distance floor), scaled to `total_traffic`.
+pub fn customer_gravity_demand(isp: &IspTopology, total_traffic: f64) -> DemandMatrix {
+    let (mass, positions) = customer_masses(isp);
+    DemandMatrix::from_masses(mass, Some(positions), 1.0, 1.0, total_traffic)
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! The scenario registry: E1–E14 as uniform, runnable entries.
+//! The scenario registry: E1–E16 as uniform, runnable entries.
 //!
 //! Each entry is a [`ScenarioSpec`] — id, name, one-line summary, and a
 //! `fn(RunCtx) -> ExpReport` that resolves the scale to that scenario's
@@ -53,7 +53,7 @@ pub struct RunCtx {
 
 /// One registered scenario.
 pub struct ScenarioSpec {
-    /// Registry id (`"e1"` … `"e14"`), the `--run` argument.
+    /// Registry id (`"e1"` … `"e16"`), the `--run` argument.
     pub id: &'static str,
     /// Short machine name (`"fkp-regimes"`).
     pub name: &'static str,
@@ -76,7 +76,7 @@ macro_rules! spec {
     };
 }
 
-static REGISTRY: [ScenarioSpec; 14] = [
+static REGISTRY: [ScenarioSpec; 16] = [
     spec!(
         "e1",
         e1,
@@ -161,6 +161,18 @@ static REGISTRY: [ScenarioSpec; 14] = [
         "traceroute-bias",
         "traceroute sampling understates redundancy on meshy ground truths"
     ),
+    spec!(
+        "e15",
+        e15,
+        "traffic-load",
+        "million-flow gravity demand: HOT loads the core, degree models load the hubs"
+    ),
+    spec!(
+        "e16",
+        e16,
+        "traffic-failure",
+        "link cuts redistribute load: mesh absorbs at bounded peak, tree strands"
+    ),
 ];
 
 /// All registered scenarios, in E-number order.
@@ -195,9 +207,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_fourteen_in_order() {
+    fn registry_has_all_sixteen_in_order() {
         let ids: Vec<&str> = registry().iter().map(|s| s.id).collect();
-        let expected: Vec<String> = (1..=14).map(|i| format!("e{}", i)).collect();
+        let expected: Vec<String> = (1..=16).map(|i| format!("e{}", i)).collect();
         assert_eq!(ids, expected.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     }
 
@@ -205,7 +217,9 @@ mod tests {
     fn find_by_id_and_name() {
         assert_eq!(find("e10").map(|s| s.name), Some("robustness"));
         assert_eq!(find("robustness").map(|s| s.id), Some("e10"));
-        assert!(find("e15").is_none());
+        assert_eq!(find("e15").map(|s| s.name), Some("traffic-load"));
+        assert_eq!(find("traffic-failure").map(|s| s.id), Some("e16"));
+        assert!(find("e17").is_none());
     }
 
     #[test]

@@ -128,35 +128,47 @@ impl CsrGraph {
     /// discovered through (deterministic: neighbors are scanned in
     /// adjacency order).
     pub fn bfs_tree(&self, start: NodeId) -> CsrBfsTree {
-        let n = self.node_count();
-        let mut dist = vec![UNREACHABLE; n];
-        let mut parent_node = vec![NodeId(u32::MAX); n];
-        let mut parent_edge = vec![EdgeId(u32::MAX); n];
-        let mut queue = Vec::with_capacity(n);
-        dist[start.index()] = 0;
-        queue.push(start);
+        let mut tree = CsrBfsTree::sized(self.node_count());
+        self.bfs_tree_into(start, &mut tree);
+        tree
+    }
+
+    /// Recomputes the BFS tree from `start` into `tree`, reusing its
+    /// buffers. Resets only the entries the previous run touched (via its
+    /// visit order), so sweeping many sources through one tree costs no
+    /// allocation and O(reached) reset per source — the reuse path the
+    /// traffic engine's per-source loop runs on. `tree` must have been
+    /// created by [`CsrBfsTree::sized`] (or a previous `bfs_tree`) with
+    /// this graph's node count.
+    pub fn bfs_tree_into(&self, start: NodeId, tree: &mut CsrBfsTree) {
+        assert_eq!(
+            tree.dist.len(),
+            self.node_count(),
+            "tree sized for a different graph"
+        );
+        for &v in &tree.order {
+            tree.dist[v.index()] = UNREACHABLE;
+        }
+        tree.order.clear();
+        tree.source = start;
+        tree.dist[start.index()] = 0;
+        tree.order.push(start);
         let mut head = 0;
-        while head < queue.len() {
-            let v = queue[head];
+        while head < tree.order.len() {
+            let v = tree.order[head];
             head += 1;
-            let d = dist[v.index()] + 1;
+            let d = tree.dist[v.index()] + 1;
             let lo = self.offsets[v.index()];
             let hi = self.offsets[v.index() + 1];
             for i in lo..hi {
                 let u = self.targets[i];
-                if dist[u.index()] == UNREACHABLE {
-                    dist[u.index()] = d;
-                    parent_node[u.index()] = v;
-                    parent_edge[u.index()] = self.edge_ids[i];
-                    queue.push(u);
+                if tree.dist[u.index()] == UNREACHABLE {
+                    tree.dist[u.index()] = d;
+                    tree.parent_node[u.index()] = v;
+                    tree.parent_edge[u.index()] = self.edge_ids[i];
+                    tree.order.push(u);
                 }
             }
-        }
-        CsrBfsTree {
-            source: start,
-            dist,
-            parent_node,
-            parent_edge,
         }
     }
 
@@ -239,6 +251,12 @@ impl CsrGraph {
 
 /// BFS shortest-path tree over a [`CsrGraph`], with edge-path extraction
 /// for hop-count routing.
+///
+/// Beyond distances and paths, the tree exposes its BFS **visit order**
+/// (source first, non-decreasing distance): replaying it in reverse
+/// visits every node after all of its subtree, which is what lets the
+/// traffic engine turn per-flow path walks into one O(n) subtree
+/// accumulation per source.
 #[derive(Clone, Debug)]
 pub struct CsrBfsTree {
     /// The BFS source.
@@ -247,9 +265,42 @@ pub struct CsrBfsTree {
     pub dist: Vec<u32>,
     parent_node: Vec<NodeId>,
     parent_edge: Vec<EdgeId>,
+    /// BFS visit order; exactly the reachable nodes.
+    order: Vec<NodeId>,
 }
 
 impl CsrBfsTree {
+    /// An empty tree sized for `n` nodes (nothing reached, source
+    /// unset), ready for [`CsrGraph::bfs_tree_into`].
+    pub fn sized(n: usize) -> CsrBfsTree {
+        CsrBfsTree {
+            source: NodeId(u32::MAX),
+            dist: vec![UNREACHABLE; n],
+            parent_node: vec![NodeId(u32::MAX); n],
+            parent_edge: vec![EdgeId(u32::MAX); n],
+            order: Vec::with_capacity(n),
+        }
+    }
+
+    /// The nodes in BFS visit order: the source first, then every
+    /// reached node in non-decreasing hop distance. Unreachable nodes do
+    /// not appear.
+    pub fn visit_order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The parent of `v` in the tree — the node and the edge `v` was
+    /// first discovered through — or `None` for the source and for
+    /// unreachable nodes.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<(NodeId, EdgeId)> {
+        if v == self.source || self.dist[v.index()] == UNREACHABLE {
+            None
+        } else {
+            Some((self.parent_node[v.index()], self.parent_edge[v.index()]))
+        }
+    }
+
     /// The edge sequence of the tree path from the source to `target`, or
     /// `None` when unreachable. The empty path is returned for
     /// `target == source`.
@@ -445,6 +496,37 @@ mod tests {
         let tree = csr.bfs_tree(NodeId(0));
         assert!(tree.edge_path_to(NodeId(2)).is_none());
         assert!(tree.edge_path_to(NodeId(1)).is_some());
+        // The visit order covers exactly the reachable component and
+        // parents are defined exactly off-source within it.
+        assert_eq!(tree.visit_order(), &[NodeId(0), NodeId(1)]);
+        assert!(tree.parent(NodeId(0)).is_none());
+        assert!(tree.parent(NodeId(2)).is_none());
+        assert_eq!(tree.parent(NodeId(1)), Some((NodeId(0), EdgeId(0))));
+    }
+
+    /// Re-running `bfs_tree_into` across sources through one scratch tree
+    /// matches a fresh `bfs_tree` per source exactly — including after a
+    /// source whose component was larger (stale entries must be reset).
+    #[test]
+    fn bfs_tree_into_reuse_matches_fresh() {
+        let g: Graph<(), ()> = Graph::from_edges(6, vec![(0, 1, ()), (1, 2, ()), (3, 4, ())]);
+        let csr = CsrGraph::from_graph(&g);
+        let mut scratch = CsrBfsTree::sized(csr.node_count());
+        for s in [0u32, 3, 5, 1] {
+            csr.bfs_tree_into(NodeId(s), &mut scratch);
+            let fresh = csr.bfs_tree(NodeId(s));
+            assert_eq!(scratch.dist, fresh.dist, "source {}", s);
+            assert_eq!(scratch.visit_order(), fresh.visit_order(), "source {}", s);
+            for v in 0..csr.node_count() {
+                assert_eq!(
+                    scratch.parent(NodeId(v as u32)),
+                    fresh.parent(NodeId(v as u32)),
+                    "source {}, node {}",
+                    s,
+                    v
+                );
+            }
+        }
     }
 
     #[test]

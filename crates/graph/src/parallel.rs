@@ -20,7 +20,7 @@
 //!
 //! Everything uses `std::thread::scope`; there are no dependencies.
 
-use crate::csr::{BrandesScratch, CsrGraph, UNREACHABLE};
+use crate::csr::{BrandesScratch, CsrBfsTree, CsrGraph, UNREACHABLE};
 use crate::graph::NodeId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -106,7 +106,7 @@ where
 /// `f` receives `(index, &item)` and must be a pure function of them for
 /// the determinism guarantee to mean anything; under that contract the
 /// output is identical at every thread count. This is the entry point
-/// the scenario engine (`hot-exp`) fans E1–E14 out over.
+/// the scenario engine (`hot-exp`) fans E1–E16 out over.
 pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
@@ -124,6 +124,63 @@ where
         out.extend(part);
     }
     out
+}
+
+/// A multi-source BFS tree cache: one [`CsrBfsTree`] per requested
+/// source, computed once (in parallel, deterministically) and then
+/// shared by every consumer that routes from those sources — repeated
+/// path queries, per-flow load walks, failure what-ifs.
+///
+/// Memory is O(sources × nodes); build forests over the *distinct
+/// sources you will actually query*, not over every node of a large
+/// graph.
+#[derive(Clone, Debug)]
+pub struct BfsForest {
+    /// `index[v]` = position of `v`'s tree in `trees`, `u32::MAX` when
+    /// `v` is not a source.
+    index: Vec<u32>,
+    trees: Vec<CsrBfsTree>,
+}
+
+/// Builds the BFS tree of every source in `sources` on `threads` workers
+/// through the fixed-chunk scheduler. Trees are pure functions of
+/// `(csr, source)`, so the forest is identical at every thread count.
+/// Duplicate sources keep the first tree.
+pub fn bfs_forest(csr: &CsrGraph, sources: &[NodeId], threads: usize) -> BfsForest {
+    let trees = par_map(sources, threads, |_, &s| csr.bfs_tree(s));
+    let mut index = vec![u32::MAX; csr.node_count()];
+    for (i, &s) in sources.iter().enumerate() {
+        if index[s.index()] == u32::MAX {
+            index[s.index()] = i as u32;
+        }
+    }
+    BfsForest { index, trees }
+}
+
+impl BfsForest {
+    /// Number of cached trees (one per requested source, duplicates
+    /// included).
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// The `i`-th tree, in the source order the forest was built with.
+    pub fn tree(&self, i: usize) -> &CsrBfsTree {
+        &self.trees[i]
+    }
+
+    /// The tree rooted at `s`, or `None` when `s` was not a source.
+    pub fn tree_from(&self, s: NodeId) -> Option<&CsrBfsTree> {
+        match self.index.get(s.index()) {
+            Some(&i) if i != u32::MAX => Some(&self.trees[i as usize]),
+            _ => None,
+        }
+    }
 }
 
 /// Betweenness centrality of every node (unweighted shortest paths, each
@@ -318,6 +375,30 @@ mod tests {
         }
         let empty: Vec<usize> = Vec::new();
         assert!(par_map(&empty, 4, |_, &v| v).is_empty());
+    }
+
+    #[test]
+    fn bfs_forest_matches_individual_trees() {
+        let g = grid(6, 4);
+        let csr = crate::csr::CsrGraph::from_graph(&g);
+        let sources: Vec<NodeId> = [0u32, 7, 23, 7].iter().map(|&v| NodeId(v)).collect();
+        let reference = bfs_forest(&csr, &sources, 1);
+        for threads in [1, 2, 4, 8] {
+            let forest = bfs_forest(&csr, &sources, threads);
+            assert_eq!(forest.len(), sources.len());
+            for (i, &s) in sources.iter().enumerate() {
+                let tree = forest.tree(i);
+                assert_eq!(tree.source, s);
+                assert_eq!(tree.dist, csr.bfs_tree(s).dist, "threads {}", threads);
+                assert_eq!(tree.dist, reference.tree(i).dist);
+            }
+            // Duplicate source 7 resolves to the first tree.
+            assert_eq!(forest.tree_from(NodeId(7)).unwrap().source, NodeId(7));
+            assert!(forest.tree_from(NodeId(1)).is_none());
+        }
+        let empty = bfs_forest(&csr, &[], 4);
+        assert!(empty.is_empty());
+        assert!(empty.tree_from(NodeId(0)).is_none());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`spectral`] | spectral radius, algebraic connectivity | Vukadinović et al. \[31\] |
 //! | [`hierarchy`] | betweenness concentration (Gini, top-share) | load-based hierarchy |
 //! | [`robustness`] | failure/attack degradation curves | HOT robust-yet-fragile |
+//! | [`utilization`] | link-load summaries, CCDFs, load-share splits | experiment E15 traffic engine |
 //! | [`report`] | one-struct-per-graph metric matrix + table rendering | experiment E6 |
 //! | [`surrogate`] | degree-preserving rewiring + anonymized fingerprints | paper §5 research agenda |
 //!
@@ -40,5 +41,6 @@ pub mod resilience;
 pub mod robustness;
 pub mod spectral;
 pub mod surrogate;
+pub mod utilization;
 
 pub use report::MetricReport;

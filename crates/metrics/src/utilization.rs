@@ -1,0 +1,179 @@
+//! Link-utilization summary statistics.
+//!
+//! The traffic engine (`hot-sim::traffic`) produces a load per link;
+//! the experiments need that vector reduced to comparable scalars —
+//! peak, spread, concentration — and to a CCDF whose shape separates
+//! "transit rides provisioned trunks" (HOT) from "everything piles onto
+//! the hubs" (degree-based generators). Everything here is a pure,
+//! deterministic function of the load vector.
+
+use crate::hierarchy::gini;
+
+/// Scalar summary of a link-load vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadSummary {
+    /// Number of links.
+    pub links: usize,
+    /// Maximum load.
+    pub max: f64,
+    /// Mean load over all links.
+    pub mean: f64,
+    /// Mean over links that carry anything.
+    pub mean_positive: f64,
+    /// Fraction of links carrying no traffic.
+    pub idle_fraction: f64,
+    /// Gini coefficient over the positive loads (0 = even, → 1 = all
+    /// transit on a few trunks).
+    pub gini: f64,
+    /// Median load (nearest-rank over all links).
+    pub p50: f64,
+    /// 90th-percentile load.
+    pub p90: f64,
+    /// 99th-percentile load.
+    pub p99: f64,
+    /// Share of total load mass carried by the top decile of links.
+    pub top_decile_share: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Computes the [`LoadSummary`] of a load vector (all zeros for the
+/// empty vector).
+pub fn load_summary(loads: &[f64]) -> LoadSummary {
+    let links = loads.len();
+    if links == 0 {
+        return LoadSummary {
+            links: 0,
+            max: 0.0,
+            mean: 0.0,
+            mean_positive: 0.0,
+            idle_fraction: 0.0,
+            gini: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            top_decile_share: 0.0,
+        };
+    }
+    let mut sorted = loads.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let total: f64 = sorted.iter().sum();
+    let positive: Vec<f64> = sorted.iter().copied().filter(|&l| l > 0.0).collect();
+    let top = links.div_ceil(10);
+    let top_mass: f64 = sorted[links - top..].iter().sum();
+    LoadSummary {
+        links,
+        max: sorted[links - 1],
+        mean: total / links as f64,
+        mean_positive: if positive.is_empty() {
+            0.0
+        } else {
+            positive.iter().sum::<f64>() / positive.len() as f64
+        },
+        idle_fraction: (links - positive.len()) as f64 / links as f64,
+        gini: gini(&positive),
+        p50: percentile(&sorted, 0.50),
+        p90: percentile(&sorted, 0.90),
+        p99: percentile(&sorted, 0.99),
+        top_decile_share: if total > 0.0 { top_mass / total } else { 0.0 },
+    }
+}
+
+/// CCDF of the load vector at `steps` evenly spaced thresholds of the
+/// maximum: `(threshold, fraction of links with load ≥ threshold)` for
+/// `t = max·k/steps`, `k = 1..=steps`. Empty when there are no links,
+/// no positive load, or `steps == 0`.
+pub fn load_ccdf(loads: &[f64], steps: usize) -> Vec<(f64, f64)> {
+    let max = loads.iter().copied().fold(0.0, f64::max);
+    if loads.is_empty() || max <= 0.0 || steps == 0 {
+        return Vec::new();
+    }
+    (1..=steps)
+        .map(|k| {
+            let t = max * k as f64 / steps as f64;
+            let frac = loads.iter().filter(|&&l| l >= t).count() as f64 / loads.len() as f64;
+            (t, frac)
+        })
+        .collect()
+}
+
+/// Fraction of total load mass on the links selected by `select`
+/// (by link index). 0 when nothing is loaded.
+pub fn load_share_on(loads: &[f64], mut select: impl FnMut(usize) -> bool) -> f64 {
+    let total: f64 = loads.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let selected: f64 = loads
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| select(i))
+        .map(|(_, &l)| l)
+        .sum();
+    selected / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_vector() {
+        let loads = [0.0, 0.0, 1.0, 1.0, 2.0, 4.0, 8.0, 0.0, 0.0, 0.0];
+        let s = load_summary(&loads);
+        assert_eq!(s.links, 10);
+        assert_eq!(s.max, 8.0);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert!((s.mean_positive - 3.2).abs() < 1e-12);
+        assert!((s.idle_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p90, 4.0);
+        assert_eq!(s.p99, 8.0);
+        // Top decile = 1 link of 10 = the max, 8 of 16 total mass.
+        assert!((s.top_decile_share - 0.5).abs() < 1e-12);
+        assert!(s.gini > 0.0);
+    }
+
+    #[test]
+    fn empty_and_idle_vectors() {
+        let s = load_summary(&[]);
+        assert_eq!(s.links, 0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.top_decile_share, 0.0);
+        let s = load_summary(&[0.0; 4]);
+        assert_eq!(s.idle_fraction, 1.0);
+        assert_eq!(s.mean_positive, 0.0);
+        assert_eq!(s.top_decile_share, 0.0);
+        assert!(load_ccdf(&[0.0; 4], 5).is_empty());
+        assert!(load_ccdf(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_anchored() {
+        let loads = [1.0, 2.0, 3.0, 4.0];
+        let ccdf = load_ccdf(&loads, 4);
+        assert_eq!(ccdf.len(), 4);
+        // Thresholds 1..4; fractions 1.0, 0.75, 0.5, 0.25.
+        assert_eq!(ccdf[0], (1.0, 1.0));
+        assert_eq!(ccdf[3], (4.0, 0.25));
+        for pair in ccdf.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "CCDF must not increase");
+        }
+    }
+
+    #[test]
+    fn share_on_selected_links() {
+        let loads = [1.0, 3.0, 0.0, 4.0];
+        assert!((load_share_on(&loads, |i| i >= 2) - 0.5).abs() < 1e-12);
+        assert_eq!(load_share_on(&loads, |_| false), 0.0);
+        assert!((load_share_on(&loads, |_| true) - 1.0).abs() < 1e-12);
+        assert_eq!(load_share_on(&[0.0; 3], |_| true), 0.0);
+    }
+}

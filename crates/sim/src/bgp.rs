@@ -66,28 +66,33 @@ impl AsNetwork {
     }
 
     /// Shortest **valley-free** AS-path length from `src` to every AS
-    /// (`None` = unreachable under policy).
+    /// (`None` = unreachable under policy). A `src` outside the network
+    /// — including any `src` on the empty network — reaches nothing.
     ///
     /// BFS over `(as, phase)` states with monotone phases:
     /// `0` = climbing (may take customer→provider, a peer link, or turn
     /// downhill), `1` = crossed the single allowed peer link (may only
-    /// descend), `2` = descending (provider→customer only).
+    /// descend), `2` = descending (provider→customer only). The queue
+    /// carries each state's distance, so no state is ever dequeued
+    /// without one.
     pub fn valley_free_distances(&self, src: usize) -> Vec<Option<u32>> {
         let n = self.len();
-        // dist[phase][as]
+        if src >= n {
+            return vec![None; n];
+        }
+        // dist[as][phase]
         let mut dist = vec![[None::<u32>; 3]; n];
         let mut queue = VecDeque::new();
         dist[src][0] = Some(0);
-        queue.push_back((src, 0usize));
-        while let Some((a, phase)) = queue.pop_front() {
-            let d = dist[a][phase].expect("queued states have distances");
+        queue.push_back((src, 0usize, 0u32));
+        while let Some((a, phase, d)) = queue.pop_front() {
             let relax = |b: usize,
                          new_phase: usize,
-                         queue: &mut VecDeque<(usize, usize)>,
+                         queue: &mut VecDeque<(usize, usize, u32)>,
                          dist: &mut Vec<[Option<u32>; 3]>| {
                 if dist[b][new_phase].is_none() {
                     dist[b][new_phase] = Some(d + 1);
-                    queue.push_back((b, new_phase));
+                    queue.push_back((b, new_phase, d + 1));
                 }
             };
             match phase {
@@ -115,19 +120,22 @@ impl AsNetwork {
     }
 
     /// Shortest unrestricted AS-path length from `src` (policy ignored).
+    /// A `src` outside the network reaches nothing.
     pub fn shortest_distances(&self, src: usize) -> Vec<Option<u32>> {
         let n = self.len();
+        if src >= n {
+            return vec![None; n];
+        }
         let mut dist = vec![None::<u32>; n];
         let mut queue = VecDeque::new();
         dist[src] = Some(0);
-        queue.push_back(src);
-        while let Some(a) = queue.pop_front() {
-            let d = dist[a].expect("queued");
+        queue.push_back((src, 0u32));
+        while let Some((a, d)) = queue.pop_front() {
             for nbrs in [&self.providers[a], &self.customers[a], &self.peers[a]] {
                 for &b in nbrs {
                     if dist[b].is_none() {
                         dist[b] = Some(d + 1);
-                        queue.push_back(b);
+                        queue.push_back((b, d + 1));
                     }
                 }
             }
@@ -304,5 +312,22 @@ mod tests {
         assert!(net.is_empty());
         let stats = policy_inflation(&net);
         assert_eq!(stats.mean_inflation, 1.0);
+    }
+
+    /// Regression: distance queries used to index out of bounds for a
+    /// source outside the network (including any source on the empty
+    /// network); now they report "reaches nothing".
+    #[test]
+    fn out_of_range_source_reaches_nothing() {
+        let net = toy();
+        assert_eq!(net.valley_free_distances(99), vec![None; net.len()]);
+        assert_eq!(net.shortest_distances(99), vec![None; net.len()]);
+        let empty = AsNetwork {
+            providers: vec![],
+            customers: vec![],
+            peers: vec![],
+        };
+        assert!(empty.valley_free_distances(0).is_empty());
+        assert!(empty.shortest_distances(0).is_empty());
     }
 }

@@ -1,0 +1,457 @@
+//! Demand-matrix generators for the traffic engine.
+//!
+//! The paper's HOT argument is that traffic and economics shape topology;
+//! running that argument forward needs a *workload*: who sends how much
+//! to whom. This module generates origin–destination demand over the
+//! nodes of a finished topology, in three standard flavors keyed off
+//! node degree and (when available) geography:
+//!
+//! - **gravity** — `demand(i, j) ∝ mass_i · mass_j / dist(i, j)^γ`, the
+//!   first-order model of aggregate traffic (mass defaults to node
+//!   degree; with node positions the classic distance decay applies,
+//!   without them the model is distance-blind);
+//! - **uniform** — every ordered pair exchanges the same amount;
+//! - **rank-biased** — Zipf mass over the degree ranking, concentrating
+//!   demand on the hubs the way per-host popularity distributions do.
+//!
+//! All three are *product-form* (`mass_i · mass_j · kernel(i, j)`), so a
+//! matrix over n nodes stores O(n), answers point queries in O(1), and is
+//! **symmetric with a zero diagonal by construction** — `a · b` and
+//! `b · a` are the same IEEE product, so `demand(i, j)` and
+//! `demand(j, i)` are bit-identical. Matrices are deterministic
+//! functions of `(topology, config)`: the optional per-node mass jitter
+//! draws from a seeded RNG in node order, so a fixed seed regenerates
+//! the same matrix byte-for-byte.
+
+use crate::routing::Demand;
+use hot_geo::point::Point;
+use hot_graph::csr::CsrGraph;
+use hot_graph::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which demand structure to generate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DemandModel {
+    /// Every ordered pair exchanges the same amount.
+    Uniform,
+    /// `mass_i · mass_j / dist^γ` with mass = node degree. Distance decay
+    /// applies only when node positions are supplied; without them the
+    /// model is distance-blind (γ is ignored).
+    Gravity {
+        /// Distance-decay exponent γ (0 = distance-blind, 2 = classic).
+        distance_exponent: f64,
+    },
+    /// Zipf mass over the degree ranking: the node with the k-th highest
+    /// degree gets mass `1 / k^exponent` (ties broken by node id).
+    RankBiased {
+        /// Zipf exponent (≈1 for classic popularity curves).
+        exponent: f64,
+    },
+}
+
+/// Parameters of a demand build.
+#[derive(Clone, Copy, Debug)]
+pub struct DemandConfig {
+    pub model: DemandModel,
+    /// Total demand over unordered pairs; each direction of a pair
+    /// carries the full symmetric amount, so the ordered-pair total is
+    /// twice this.
+    pub total_traffic: f64,
+    /// Per-node multiplicative mass jitter amplitude in `[0, 1)`:
+    /// `mass ·= 1 + jitter · u`, `u ~ U(-1, 1)` drawn from `seed` in
+    /// node order. 0 disables the RNG entirely.
+    pub mass_jitter: f64,
+    /// Floor on pairwise distance (gravity with positions only).
+    pub min_distance: f64,
+    /// Seed for the mass jitter.
+    pub seed: u64,
+}
+
+impl Default for DemandConfig {
+    fn default() -> Self {
+        DemandConfig {
+            model: DemandModel::Gravity {
+                distance_exponent: 1.0,
+            },
+            total_traffic: 1_000_000.0,
+            mass_jitter: 0.0,
+            min_distance: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// An origin–destination demand source the traffic engine can route.
+///
+/// Implementations must be symmetric in intent; only `node_count` and
+/// point queries are required. Self-demand is never routed: `demand`
+/// should report 0 on the diagonal and `gather_row` must not emit it
+/// (the engine drops any diagonal entry it receives anyway).
+pub trait OdDemand: Sync {
+    /// Number of nodes the demand is defined over.
+    fn node_count(&self) -> usize;
+    /// Demand from `src` to `dst` (0 expected on the diagonal).
+    fn demand(&self, src: usize, dst: usize) -> f64;
+
+    /// Appends `src`'s positive demands to `out` as `(dst, amount)`
+    /// pairs in ascending `dst` order. This is the traffic engine's
+    /// inner loop; the default delegates to [`Self::demand`] per pair,
+    /// and implementations may specialize for speed — but must emit
+    /// exactly the amounts `demand` reports (bit for bit), or the
+    /// batched engine and the per-flow baseline drift apart.
+    fn gather_row(&self, src: usize, out: &mut Vec<(u32, f64)>) {
+        for dst in 0..self.node_count() {
+            if dst == src {
+                continue;
+            }
+            let amount = self.demand(src, dst);
+            if amount > 0.0 {
+                out.push((dst as u32, amount));
+            }
+        }
+    }
+}
+
+/// A product-form origin–destination demand matrix: O(n) storage, O(1)
+/// point queries, symmetric with zero diagonal. Build one with
+/// [`DemandMatrix::build`] (standard models over a topology) or
+/// [`DemandMatrix::from_masses`] (caller-supplied masses, e.g. "customers
+/// only").
+#[derive(Clone, Debug)]
+pub struct DemandMatrix {
+    mass: Vec<f64>,
+    positions: Option<Vec<Point>>,
+    gamma: f64,
+    min_distance: f64,
+    scale: f64,
+}
+
+impl DemandMatrix {
+    /// Builds a demand matrix for the nodes of `csr` under `cfg`.
+    /// `positions`, when given, must have one entry per node and enables
+    /// gravity distance decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is present with the wrong length.
+    pub fn build(csr: &CsrGraph, positions: Option<&[Point]>, cfg: &DemandConfig) -> DemandMatrix {
+        let n = csr.node_count();
+        let mut mass: Vec<f64> = match cfg.model {
+            DemandModel::Uniform => vec![1.0; n],
+            DemandModel::Gravity { .. } => (0..n)
+                .map(|v| csr.degree(NodeId(v as u32)) as f64)
+                .collect(),
+            DemandModel::RankBiased { exponent } => {
+                let mut by_degree: Vec<usize> = (0..n).collect();
+                by_degree.sort_by_key(|&v| (std::cmp::Reverse(csr.degree(NodeId(v as u32))), v));
+                let mut m = vec![0.0; n];
+                for (rank, &v) in by_degree.iter().enumerate() {
+                    m[v] = 1.0 / ((rank + 1) as f64).powf(exponent);
+                }
+                m
+            }
+        };
+        if cfg.mass_jitter > 0.0 {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            for m in &mut mass {
+                *m *= 1.0 + cfg.mass_jitter * rng.random_range(-1.0..1.0);
+            }
+        }
+        let gamma = match cfg.model {
+            DemandModel::Gravity { distance_exponent } => distance_exponent,
+            _ => 0.0,
+        };
+        DemandMatrix::from_masses(
+            mass,
+            positions.map(|p| p.to_vec()),
+            gamma,
+            cfg.min_distance,
+            cfg.total_traffic,
+        )
+    }
+
+    /// Builds a matrix from explicit per-node masses — e.g. mass 1 on
+    /// customer routers and 0 on infrastructure. Scaled so the total
+    /// over unordered pairs equals `total_traffic` (all-zero masses stay
+    /// all-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is present with a length other than
+    /// `mass.len()`.
+    pub fn from_masses(
+        mass: Vec<f64>,
+        positions: Option<Vec<Point>>,
+        distance_exponent: f64,
+        min_distance: f64,
+        total_traffic: f64,
+    ) -> DemandMatrix {
+        if let Some(p) = &positions {
+            assert_eq!(p.len(), mass.len(), "one position per node");
+        }
+        let mut matrix = DemandMatrix {
+            mass,
+            positions,
+            gamma: distance_exponent,
+            min_distance,
+            scale: 1.0,
+        };
+        let raw = matrix.total();
+        matrix.scale = if raw > 0.0 { total_traffic / raw } else { 0.0 };
+        matrix
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Whether the matrix covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    /// The (possibly jittered) mass of node `i`.
+    pub fn mass(&self, i: usize) -> f64 {
+        self.mass[i]
+    }
+
+    #[inline]
+    fn kernel(&self, i: usize, j: usize) -> f64 {
+        match &self.positions {
+            Some(pos) => {
+                let d = pos[i].dist(&pos[j]).max(self.min_distance);
+                if self.gamma == 0.0 {
+                    1.0
+                } else {
+                    d.powf(-self.gamma)
+                }
+            }
+            None => 1.0,
+        }
+    }
+
+    /// Total demand node `i` originates: its row sum, O(n).
+    pub fn row_sum(&self, i: usize) -> f64 {
+        (0..self.len()).map(|j| self.demand(i, j)).sum()
+    }
+
+    /// Total demand over unordered pairs, O(n²) (O(n) would be possible
+    /// without distance decay, but this is the testable definition).
+    pub fn total(&self) -> f64 {
+        let n = self.len();
+        let mut t = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                t += self.demand(i, j);
+            }
+        }
+        t
+    }
+
+    /// Materializes directed flows `s → dst` for every `s` in `sources`
+    /// and every `dst ≠ s` with positive demand, in `(source-order,
+    /// ascending dst)` order. Each direction of a pair carries the full
+    /// symmetric amount.
+    pub fn flows_from(&self, sources: &[NodeId]) -> Vec<Demand> {
+        let n = self.len();
+        let mut out = Vec::new();
+        for &s in sources {
+            for dst in 0..n {
+                let amount = self.demand(s.index(), dst);
+                if amount > 0.0 {
+                    out.push(Demand {
+                        src: s,
+                        dst: NodeId(dst as u32),
+                        amount,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// All directed flows: [`Self::flows_from`] over every node. O(n²)
+    /// entries — materialize only at sizes you can afford; the batched
+    /// engine routes straight off the matrix without this.
+    pub fn flows(&self) -> Vec<Demand> {
+        let sources: Vec<NodeId> = (0..self.len() as u32).map(NodeId).collect();
+        self.flows_from(&sources)
+    }
+}
+
+impl OdDemand for DemandMatrix {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn demand(&self, src: usize, dst: usize) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        self.scale * (self.mass[src] * self.mass[dst]) * self.kernel(src, dst)
+    }
+
+    /// Statically dispatched row sweep: one virtual call per source
+    /// instead of one per pair, with an early-out for sources that
+    /// originate nothing. Delegates to the `#[inline]` [`Self::demand`]
+    /// per pair, so the emitted amounts are the point queries, bit for
+    /// bit.
+    fn gather_row(&self, src: usize, out: &mut Vec<(u32, f64)>) {
+        if self.scale == 0.0 || self.mass[src] == 0.0 {
+            return;
+        }
+        for dst in 0..self.len() {
+            let amount = self.demand(src, dst);
+            if amount > 0.0 {
+                out.push((dst as u32, amount));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_graph::graph::Graph;
+
+    /// Star with 4 leaves: hub 0 has degree 4, leaves degree 1.
+    fn star() -> CsrGraph {
+        let g: Graph<(), ()> = Graph::from_edges(5, (1..5).map(|i| (0, i, ())).collect::<Vec<_>>());
+        CsrGraph::from_graph(&g)
+    }
+
+    fn cfg(model: DemandModel) -> DemandConfig {
+        DemandConfig {
+            model,
+            total_traffic: 100.0,
+            ..DemandConfig::default()
+        }
+    }
+
+    #[test]
+    fn uniform_spreads_evenly() {
+        let dm = DemandMatrix::build(&star(), None, &cfg(DemandModel::Uniform));
+        assert!((dm.total() - 100.0).abs() < 1e-9);
+        // 10 unordered pairs → 10 each.
+        assert!((dm.demand(1, 2) - 10.0).abs() < 1e-9);
+        assert_eq!(dm.demand(3, 3), 0.0);
+    }
+
+    #[test]
+    fn gravity_mass_follows_degree() {
+        let dm = DemandMatrix::build(
+            &star(),
+            None,
+            &cfg(DemandModel::Gravity {
+                distance_exponent: 1.0,
+            }),
+        );
+        // Hub-leaf demand is 4x leaf-leaf demand (mass 4·1 vs 1·1).
+        assert!((dm.demand(0, 1) / dm.demand(1, 2) - 4.0).abs() < 1e-9);
+        assert!((dm.total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gravity_distance_decay_with_positions() {
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(8.0, 0.0),
+            Point::new(16.0, 0.0),
+            Point::new(32.0, 0.0),
+        ];
+        let dm = DemandMatrix::build(
+            &star(),
+            Some(&pos),
+            &cfg(DemandModel::Gravity {
+                distance_exponent: 1.0,
+            }),
+        );
+        // Same masses (leaf-leaf), 4x the distance → a quarter of the
+        // demand: pairs (1,2) at distance 6 and (2,3) at 8 vs (1,4) at 30.
+        assert!(dm.demand(1, 2) > dm.demand(1, 4));
+        let ratio = dm.demand(1, 2) / dm.demand(1, 4);
+        assert!((ratio - 5.0).abs() < 1e-9, "30/6 = {}", ratio);
+    }
+
+    #[test]
+    fn rank_bias_concentrates_on_hubs() {
+        let dm = DemandMatrix::build(
+            &star(),
+            None,
+            &cfg(DemandModel::RankBiased { exponent: 1.0 }),
+        );
+        // Hub is rank 1 (mass 1), leaves ranks 2..=5 by id.
+        assert!((dm.mass(0) - 1.0).abs() < 1e-12);
+        assert!((dm.mass(1) - 0.5).abs() < 1e-12);
+        assert!(dm.demand(0, 1) > dm.demand(3, 4));
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let base = DemandConfig {
+            mass_jitter: 0.3,
+            seed: 9,
+            ..cfg(DemandModel::Gravity {
+                distance_exponent: 0.0,
+            })
+        };
+        let a = DemandMatrix::build(&star(), None, &base);
+        let b = DemandMatrix::build(&star(), None, &base);
+        let c = DemandMatrix::build(&star(), None, &DemandConfig { seed: 10, ..base });
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(a.demand(i, j).to_bits(), b.demand(i, j).to_bits());
+            }
+        }
+        assert!((0..5).any(|i| a.mass(i).to_bits() != c.mass(i).to_bits()));
+    }
+
+    #[test]
+    fn flows_match_row_sums() {
+        let dm = DemandMatrix::build(
+            &star(),
+            None,
+            &cfg(DemandModel::Gravity {
+                distance_exponent: 0.0,
+            }),
+        );
+        let flows = dm.flows();
+        // 5 sources x 4 destinations, all masses positive.
+        assert_eq!(flows.len(), 20);
+        for i in 0..5 {
+            let emitted: f64 = flows
+                .iter()
+                .filter(|f| f.src.index() == i)
+                .map(|f| f.amount)
+                .sum();
+            assert!((emitted - dm.row_sum(i)).abs() < 1e-9);
+        }
+        let offered: f64 = flows.iter().map(|f| f.amount).sum();
+        assert!((offered - 2.0 * dm.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masked_masses_zero_out_infrastructure() {
+        let dm = DemandMatrix::from_masses(vec![0.0, 1.0, 1.0, 1.0, 1.0], None, 0.0, 1.0, 60.0);
+        assert_eq!(dm.demand(0, 1), 0.0);
+        assert!((dm.demand(1, 2) - 10.0).abs() < 1e-9);
+        assert!((dm.total() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sizes_stay_zero() {
+        let dm = DemandMatrix::from_masses(Vec::new(), None, 0.0, 1.0, 10.0);
+        assert!(dm.is_empty());
+        assert_eq!(dm.total(), 0.0);
+        assert!(dm.flows().is_empty());
+        let one = DemandMatrix::from_masses(vec![3.0], None, 0.0, 1.0, 10.0);
+        assert_eq!(one.total(), 0.0);
+        assert_eq!(one.demand(0, 0), 0.0);
+        let zeros = DemandMatrix::from_masses(vec![0.0; 4], None, 0.0, 1.0, 10.0);
+        assert_eq!(zeros.total(), 0.0);
+    }
+}

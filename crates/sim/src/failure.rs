@@ -21,6 +21,9 @@ pub struct FailureImpact {
     pub stranded_traffic: f64,
     /// Demand-weighted mean hops of re-routed traffic, after / before.
     pub stretch: f64,
+    /// Peak link load after re-routing (where the displaced traffic
+    /// lands — the redistribution measurement E16 reports).
+    pub max_load_after: f64,
 }
 
 /// Summary over all simulated failures.
@@ -35,24 +38,48 @@ pub struct FailureSummary {
     pub worst_stranded_fraction: f64,
     /// Mean stretch over failures that re-routed everything.
     pub mean_stretch: f64,
+    /// Worst post-failure peak link load relative to the baseline peak
+    /// (1.0 when nothing was simulated or the baseline was idle).
+    pub max_load_amplification: f64,
+}
+
+impl FailureSummary {
+    /// The summary of a study with nothing to simulate (no links, no
+    /// demands, or nothing loaded).
+    fn trivial() -> FailureSummary {
+        FailureSummary {
+            impacts: Vec::new(),
+            stranding_fraction: 0.0,
+            worst_stranded_fraction: 0.0,
+            mean_stretch: 1.0,
+            max_load_amplification: 1.0,
+        }
+    }
 }
 
 /// Simulates every loaded link's failure independently.
 ///
 /// `metric`/`weight` must match the routing that produced normal
 /// operation (they are re-run internally). Runtime is one full routing
-/// pass per loaded link — fine for backbone-scale graphs.
+/// pass per loaded link — fine for backbone-scale graphs. Degenerate
+/// inputs (no links, no demands, endpoints outside the graph) produce a
+/// trivial summary instead of panicking.
 pub fn single_link_failures<N: Clone, E: Clone>(
     g: &Graph<N, E>,
     demands: &[Demand],
     metric: IgpMetric,
     weight: impl Fn(EdgeId, &E) -> f64 + Copy,
 ) -> FailureSummary {
+    if g.edge_count() == 0 || demands.is_empty() {
+        return FailureSummary::trivial();
+    }
     let baseline = route(g, demands, metric, weight);
+    let baseline_max = baseline.max_load();
     let total_traffic: f64 = demands.iter().map(|d| d.amount).sum();
     let mut impacts = Vec::new();
     let mut stranded_failures = 0usize;
     let mut worst_stranded = 0.0f64;
+    let mut worst_max_after = 0.0f64;
     let mut stretch_sum = 0.0;
     let mut stretch_count = 0usize;
     for link in g.edge_ids() {
@@ -79,6 +106,8 @@ pub fn single_link_failures<N: Clone, E: Clone>(
         } else {
             1.0
         };
+        let max_load_after = outcome.max_load();
+        worst_max_after = worst_max_after.max(max_load_after);
         if stranded > 0.0 {
             stranded_failures += 1;
             if total_traffic > 0.0 {
@@ -93,6 +122,7 @@ pub fn single_link_failures<N: Clone, E: Clone>(
             affected_traffic: affected,
             stranded_traffic: stranded,
             stretch,
+            max_load_after,
         });
     }
     let simulated = impacts.len().max(1);
@@ -101,6 +131,11 @@ pub fn single_link_failures<N: Clone, E: Clone>(
         worst_stranded_fraction: worst_stranded,
         mean_stretch: if stretch_count > 0 {
             stretch_sum / stretch_count as f64
+        } else {
+            1.0
+        },
+        max_load_amplification: if !impacts.is_empty() && baseline_max > 0.0 {
+            worst_max_after / baseline_max
         } else {
             1.0
         },
@@ -158,6 +193,54 @@ mod tests {
         // The failure re-routes via node 2 at stretch 2.
         assert_eq!(summary.stranding_fraction, 0.0);
         assert!((summary.impacts[0].stretch - 2.0).abs() < 1e-12);
+    }
+
+    /// Regression: the degenerate inputs — empty graph, no demands, a
+    /// demand whose endpoints are outside the graph, and a disconnected
+    /// OD pair already stranded at baseline — all produce a clean
+    /// summary instead of a panic.
+    #[test]
+    fn degenerate_inputs_are_trivial_not_panics() {
+        let empty: Graph<(), f64> = Graph::new();
+        let s = single_link_failures(&empty, &[d(0, 1, 1.0)], IgpMetric::HopCount, |_, w| *w);
+        assert!(s.impacts.is_empty());
+        assert_eq!(s.max_load_amplification, 1.0);
+        let g: Graph<(), f64> = Graph::from_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]);
+        let s = single_link_failures(&g, &[], IgpMetric::HopCount, |_, w| *w);
+        assert!(s.impacts.is_empty());
+        assert_eq!(s.mean_stretch, 1.0);
+        // Out-of-range endpoints and a disconnected baseline pair ride
+        // along with one routable demand.
+        let s = single_link_failures(
+            &g,
+            &[d(0, 9, 1.0), d(0, 3, 2.0), d(0, 1, 1.0)],
+            IgpMetric::HopCount,
+            |_, w| *w,
+        );
+        assert_eq!(s.impacts.len(), 1); // only link (0,1) carries traffic
+        assert!((s.stranding_fraction - 1.0).abs() < 1e-12); // it is a cut
+    }
+
+    /// Redistribution accounting: on a 4-cycle with one demand, failing
+    /// the direct link pushes the same traffic onto the 3-hop detour, so
+    /// the post-failure peak equals the baseline peak (amplification 1)
+    /// and every impact records where the load landed.
+    #[test]
+    fn load_redistribution_recorded() {
+        let g: Graph<(), f64> =
+            Graph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let s = single_link_failures(&g, &[d(0, 1, 2.0)], IgpMetric::HopCount, |_, w| *w);
+        assert_eq!(s.impacts.len(), 1);
+        assert!((s.impacts[0].max_load_after - 2.0).abs() < 1e-12);
+        assert!((s.max_load_amplification - 1.0).abs() < 1e-12);
+        // Two demands sharing a link: failing it doubles up the detour.
+        let s = single_link_failures(
+            &g,
+            &[d(0, 1, 2.0), d(3, 1, 1.0)],
+            IgpMetric::HopCount,
+            |_, w| *w,
+        );
+        assert!(s.max_load_amplification > 1.0);
     }
 
     #[test]

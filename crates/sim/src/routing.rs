@@ -88,12 +88,16 @@ impl RoutingOutcome {
 /// are reproducible. Runtime: one BFS or Dijkstra per distinct source —
 /// the hop-count path is the one the large experiments hit, and it runs
 /// on the flat [`CsrGraph`] kernel.
+///
+/// Degenerate demands never panic: endpoints outside the graph are
+/// reported in `unrouted` alongside disconnected pairs.
 pub fn route<N, E>(
     g: &Graph<N, E>,
     demands: &[Demand],
     metric: IgpMetric,
     mut weight: impl FnMut(EdgeId, &E) -> f64,
 ) -> RoutingOutcome {
+    let n = g.node_count();
     let mut link_load = vec![0.0; g.edge_count()];
     let mut unrouted = Vec::new();
     let mut traffic_hops = 0.0;
@@ -101,6 +105,10 @@ pub fn route<N, E>(
     // Group demands by source to reuse the per-source shortest-path runs.
     let mut by_src: std::collections::BTreeMap<u32, Vec<&Demand>> = Default::default();
     for d in demands {
+        if d.src.index() >= n || d.dst.index() >= n {
+            unrouted.push(*d);
+            continue;
+        }
         by_src.entry(d.src.0).or_default().push(d);
     }
     let csr = match metric {
@@ -158,7 +166,7 @@ fn gini(sample: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let total: f64 = sorted.iter().sum();
     if total <= 0.0 {
         return 0.0;
@@ -249,6 +257,27 @@ mod tests {
         assert!(load_gini(&out) > 0.0);
         assert_eq!(out.idle_fraction(), 0.0);
         assert!(out.mean_positive_load() > 0.0);
+    }
+
+    /// Regression: endpoints outside the graph used to panic on the BFS
+    /// distance arrays; now they land in `unrouted` like disconnected
+    /// pairs — including on the empty graph.
+    #[test]
+    fn out_of_range_endpoints_are_unrouted_not_panics() {
+        let g = path4();
+        let out = route(
+            &g,
+            &[d(0, 9, 2.0), d(9, 0, 1.0), d(0, 3, 1.0)],
+            IgpMetric::HopCount,
+            |_, w| *w,
+        );
+        assert_eq!(out.unrouted.len(), 2);
+        assert!((out.routed_traffic - 1.0).abs() < 1e-12);
+        let empty: Graph<(), f64> = Graph::new();
+        let out = route(&empty, &[d(0, 1, 5.0)], IgpMetric::Weighted, |_, w| *w);
+        assert_eq!(out.unrouted.len(), 1);
+        assert_eq!(out.routed_traffic, 0.0);
+        assert!(out.link_load.is_empty());
     }
 
     #[test]

@@ -1,0 +1,529 @@
+//! Batched, deterministic link-load simulation.
+//!
+//! [`crate::routing::route`] walks every flow's path edge by edge — fine
+//! for thousands of demands, hopeless for the all-pairs workloads the
+//! demand models in [`crate::demand`] describe (millions of OD flows).
+//! This engine routes those workloads in O(n + m) per *source* instead
+//! of O(path) per *flow*:
+//!
+//! 1. one CSR BFS tree per source, computed once into reused scratch
+//!    ([`hot_graph::csr::CsrGraph::bfs_tree_into`]) and shared by every
+//!    demand model in the batch;
+//! 2. per model, a reverse-visit-order **subtree accumulation**: seed
+//!    each destination with its demand, then push accumulated demand up
+//!    the tree — every tree edge receives exactly the sum of the demands
+//!    below it, which is what per-flow path walking would have added one
+//!    flow at a time;
+//! 3. sources fan out over the fixed 64-chunk scheduler
+//!    ([`hot_graph::parallel::run_chunks`]): chunk boundaries ignore the
+//!    thread count and partial load vectors merge in chunk order, so
+//!    **link loads are bit-identical at every thread count**, and — for
+//!    integer-valued demands — bit-identical to the naive per-flow walk.
+//!
+//! [`RoutePolicy::Ecmp`] additionally splits each flow equally over *all*
+//! shortest paths (per-path, so parallel equal-length paths through a
+//! high-σ neighbor carry proportionally more), via the same reverse
+//! sweep with Brandes-style path counts.
+
+use crate::demand::OdDemand;
+use crate::routing::Demand;
+use hot_graph::csr::{CsrBfsTree, CsrGraph, UNREACHABLE};
+use hot_graph::parallel::{run_chunks, BfsForest};
+
+/// How a flow is mapped onto shortest paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// The deterministic BFS-tree path (first discovery in adjacency
+    /// order) — what [`crate::routing::route`] uses for hop counts.
+    TreePath,
+    /// Equal-cost multipath: the flow splits over all shortest paths,
+    /// proportionally to path counts (Brandes σ).
+    Ecmp,
+}
+
+/// Link loads and flow accounting from one batched run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficLoads {
+    /// Traffic carried by each link (indexed by `EdgeId`).
+    pub link_load: Vec<f64>,
+    /// OD flows routed (positive-demand ordered pairs with a path).
+    pub routed_flows: u64,
+    /// OD flows between disconnected endpoints.
+    pub unrouted_flows: u64,
+    /// Total routed traffic.
+    pub routed_traffic: f64,
+    /// Total traffic between disconnected endpoints.
+    pub unrouted_traffic: f64,
+    /// Total routed traffic × hops.
+    pub traffic_hops: f64,
+}
+
+impl TrafficLoads {
+    fn zero(links: usize) -> TrafficLoads {
+        TrafficLoads {
+            link_load: vec![0.0; links],
+            routed_flows: 0,
+            unrouted_flows: 0,
+            routed_traffic: 0.0,
+            unrouted_traffic: 0.0,
+            traffic_hops: 0.0,
+        }
+    }
+
+    fn absorb(&mut self, other: &TrafficLoads) {
+        for (a, b) in self.link_load.iter_mut().zip(&other.link_load) {
+            *a += b;
+        }
+        self.routed_flows += other.routed_flows;
+        self.unrouted_flows += other.unrouted_flows;
+        self.routed_traffic += other.routed_traffic;
+        self.unrouted_traffic += other.unrouted_traffic;
+        self.traffic_hops += other.traffic_hops;
+    }
+
+    /// Demand-weighted mean path length in hops.
+    pub fn mean_hops(&self) -> f64 {
+        if self.routed_traffic > 0.0 {
+            self.traffic_hops / self.routed_traffic
+        } else {
+            0.0
+        }
+    }
+
+    /// Maximum link load.
+    pub fn max_load(&self) -> f64 {
+        self.link_load.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sum of all link loads (equals `traffic_hops` up to float
+    /// reassociation).
+    pub fn total_load(&self) -> f64 {
+        self.link_load.iter().sum()
+    }
+}
+
+/// Per-worker scratch: a reusable BFS tree, the subtree accumulator, the
+/// ECMP path counts, and one positive-demand list per model. O(n) each,
+/// allocated once per worker thread.
+struct EngineScratch {
+    tree: CsrBfsTree,
+    acc: Vec<f64>,
+    sigma: Vec<f64>,
+    /// `entries[m]` = the current source's positive demands under model
+    /// `m`, as `(dst, amount)`.
+    entries: Vec<Vec<(u32, f64)>>,
+}
+
+/// Routes every demand model in `demands` over `csr` in one batched
+/// sweep — each source's BFS tree is computed once and fanned out over
+/// all models — and returns one [`TrafficLoads`] per model, in input
+/// order. Output is bit-identical at every thread count.
+///
+/// Self-demand (the matrix diagonal) and non-positive demands are
+/// ignored. All models must cover exactly `csr.node_count()` nodes.
+pub fn link_loads_multi(
+    csr: &CsrGraph,
+    demands: &[&dyn OdDemand],
+    policy: RoutePolicy,
+    threads: usize,
+) -> Vec<TrafficLoads> {
+    let n = csr.node_count();
+    let links = csr.edge_count();
+    for dem in demands {
+        assert_eq!(dem.node_count(), n, "demand sized for a different graph");
+    }
+    let mut totals: Vec<TrafficLoads> = demands.iter().map(|_| TrafficLoads::zero(links)).collect();
+    if n == 0 || demands.is_empty() {
+        return totals;
+    }
+    let partials = run_chunks(
+        n,
+        threads,
+        || EngineScratch {
+            tree: CsrBfsTree::sized(n),
+            acc: vec![0.0; n],
+            sigma: vec![0.0; n],
+            entries: demands.iter().map(|_| Vec::new()).collect(),
+        },
+        |scratch, range| {
+            let mut partial: Vec<TrafficLoads> =
+                demands.iter().map(|_| TrafficLoads::zero(links)).collect();
+            for s in range {
+                // Gather each model's positive demands first: a source
+                // nobody sends from (masked masses, restricted bands)
+                // skips its BFS entirely.
+                let mut any = false;
+                for (dem, entries) in demands.iter().zip(&mut scratch.entries) {
+                    entries.clear();
+                    dem.gather_row(s, entries);
+                    any |= !entries.is_empty();
+                }
+                if !any {
+                    continue;
+                }
+                csr.bfs_tree_into(hot_graph::graph::NodeId(s as u32), &mut scratch.tree);
+                if policy == RoutePolicy::Ecmp {
+                    count_paths(csr, &scratch.tree, &mut scratch.sigma);
+                }
+                for (m, out) in partial.iter_mut().enumerate() {
+                    accumulate_source(csr, scratch, m, policy, out);
+                }
+            }
+            partial
+        },
+    );
+    for (_, partial) in partials {
+        for (total, part) in totals.iter_mut().zip(&partial) {
+            total.absorb(part);
+        }
+    }
+    totals
+}
+
+/// [`link_loads_multi`] for a single demand model.
+pub fn link_loads(
+    csr: &CsrGraph,
+    demand: &dyn OdDemand,
+    policy: RoutePolicy,
+    threads: usize,
+) -> TrafficLoads {
+    link_loads_multi(csr, &[demand], policy, threads)
+        .pop()
+        .expect("one model in, one result out")
+}
+
+/// Brandes-style shortest-path counts from the tree's source, into
+/// `sigma` (entries outside the reached set are never read).
+fn count_paths(csr: &CsrGraph, tree: &CsrBfsTree, sigma: &mut [f64]) {
+    for &v in tree.visit_order() {
+        sigma[v.index()] = 0.0;
+    }
+    sigma[tree.source.index()] = 1.0;
+    for &v in tree.visit_order() {
+        let next = tree.dist[v.index()] + 1;
+        for &u in csr.neighbors(v) {
+            if tree.dist[u.index()] == next {
+                sigma[u.index()] += sigma[v.index()];
+            }
+        }
+    }
+}
+
+/// Routes the gathered positive demands of model `m` (for the current
+/// source, already in `scratch.entries[m]`) over the current scratch
+/// tree into `out`. The subtree accumulator is left all-zero again on
+/// return.
+fn accumulate_source(
+    csr: &CsrGraph,
+    scratch: &mut EngineScratch,
+    m: usize,
+    policy: RoutePolicy,
+    out: &mut TrafficLoads,
+) {
+    let EngineScratch {
+        tree,
+        acc,
+        sigma,
+        entries,
+    } = scratch;
+    for &(v, amount) in &entries[m] {
+        let v = v as usize;
+        // Self-demand is never routed, whatever a gather_row emits.
+        if v == tree.source.index() {
+            continue;
+        }
+        if tree.dist[v] == UNREACHABLE {
+            out.unrouted_flows += 1;
+            out.unrouted_traffic += amount;
+        } else {
+            acc[v] = amount;
+            out.routed_flows += 1;
+            out.routed_traffic += amount;
+            out.traffic_hops += amount * tree.dist[v] as f64;
+        }
+    }
+    // Children precede parents in reverse visit order, so by the time a
+    // node is popped its accumulator holds the whole subtree's demand.
+    for &v in tree.visit_order().iter().rev() {
+        if v == tree.source {
+            continue;
+        }
+        let a = acc[v.index()];
+        if a == 0.0 {
+            continue;
+        }
+        match policy {
+            RoutePolicy::TreePath => {
+                let (p, e) = tree
+                    .parent(v)
+                    .expect("reached non-source node has a parent");
+                out.link_load[e.index()] += a;
+                acc[p.index()] += a;
+            }
+            RoutePolicy::Ecmp => {
+                let dv = tree.dist[v.index()];
+                let share = a / sigma[v.index()];
+                for (&u, &e) in csr.neighbors(v).iter().zip(csr.incident_edges(v)) {
+                    let du = tree.dist[u.index()];
+                    if du != UNREACHABLE && du + 1 == dv {
+                        let c = share * sigma[u.index()];
+                        out.link_load[e.index()] += c;
+                        acc[u.index()] += c;
+                    }
+                }
+            }
+        }
+        acc[v.index()] = 0.0;
+    }
+    acc[tree.source.index()] = 0.0;
+}
+
+/// The per-flow reference engine: walks every flow's tree path edge by
+/// edge over a prebuilt [`BfsForest`] (the multi-source tree cache).
+/// Semantically [`crate::routing::route`] with `IgpMetric::HopCount`;
+/// kept as the differential/speedup baseline for the batched engine.
+/// Flows whose source has no tree in the forest — or whose endpoints
+/// lie outside the graph — count as unrouted.
+pub fn naive_link_load(csr: &CsrGraph, forest: &BfsForest, flows: &[Demand]) -> TrafficLoads {
+    let n = csr.node_count();
+    let mut out = TrafficLoads::zero(csr.edge_count());
+    for f in flows {
+        let path = if f.dst.index() < n {
+            forest
+                .tree_from(f.src)
+                .and_then(|tree| tree.edge_path_to(f.dst))
+        } else {
+            None
+        };
+        match path {
+            Some(path) => {
+                for e in &path {
+                    out.link_load[e.index()] += f.amount;
+                }
+                out.routed_flows += 1;
+                out.routed_traffic += f.amount;
+                out.traffic_hops += f.amount * path.len() as f64;
+            }
+            None => {
+                out.unrouted_flows += 1;
+                out.unrouted_traffic += f.amount;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{DemandConfig, DemandMatrix, DemandModel};
+    use crate::routing::{route, IgpMetric};
+    use hot_graph::graph::{Graph, NodeId};
+    use hot_graph::parallel::bfs_forest;
+
+    /// A demand given by an explicit dense matrix (tests only).
+    struct Dense {
+        n: usize,
+        d: Vec<f64>,
+    }
+
+    impl OdDemand for Dense {
+        fn node_count(&self) -> usize {
+            self.n
+        }
+        fn demand(&self, src: usize, dst: usize) -> f64 {
+            self.d[src * self.n + dst]
+        }
+    }
+
+    fn path4() -> (Graph<(), ()>, CsrGraph) {
+        let g: Graph<(), ()> = Graph::from_edges(4, vec![(0, 1, ()), (1, 2, ()), (2, 3, ())]);
+        let csr = CsrGraph::from_graph(&g);
+        (g, csr)
+    }
+
+    #[test]
+    fn batched_matches_route_on_path() {
+        let (g, csr) = path4();
+        let mut d = vec![0.0; 16];
+        d[3] = 5.0; // 0 -> 3
+        d[1 * 4 + 2] = 2.0; // 1 -> 2
+        let dense = Dense { n: 4, d };
+        let loads = link_loads(&csr, &dense, RoutePolicy::TreePath, 2);
+        let flows = vec![
+            Demand {
+                src: NodeId(0),
+                dst: NodeId(3),
+                amount: 5.0,
+            },
+            Demand {
+                src: NodeId(1),
+                dst: NodeId(2),
+                amount: 2.0,
+            },
+        ];
+        let reference = route(&g, &flows, IgpMetric::HopCount, |_, _| 1.0);
+        assert_eq!(loads.link_load, reference.link_load);
+        assert_eq!(loads.routed_flows, 2);
+        assert_eq!(loads.unrouted_flows, 0);
+        assert!((loads.mean_hops() - reference.mean_hops()).abs() < 1e-12);
+        let forest = bfs_forest(&csr, &[NodeId(0), NodeId(1)], 1);
+        let naive = naive_link_load(&csr, &forest, &flows);
+        assert_eq!(naive.link_load, loads.link_load);
+        assert_eq!(naive.routed_traffic, loads.routed_traffic);
+    }
+
+    #[test]
+    fn ecmp_splits_across_equal_paths() {
+        // Square: two 2-hop paths from 0 to 3.
+        let g: Graph<(), ()> =
+            Graph::from_edges(4, vec![(0, 1, ()), (0, 2, ()), (1, 3, ()), (2, 3, ())]);
+        let csr = CsrGraph::from_graph(&g);
+        let mut d = vec![0.0; 16];
+        d[3] = 2.0;
+        let dense = Dense { n: 4, d };
+        let tree = link_loads(&csr, &dense, RoutePolicy::TreePath, 1);
+        let ecmp = link_loads(&csr, &dense, RoutePolicy::Ecmp, 1);
+        // Tree path uses one side only; ECMP puts exactly 1.0 on all
+        // four edges (2 paths, amount 2, splits are powers of two).
+        assert_eq!(tree.link_load.iter().filter(|&&l| l > 0.0).count(), 2);
+        assert_eq!(ecmp.link_load, vec![1.0; 4]);
+        assert_eq!(ecmp.traffic_hops, 4.0);
+        assert_eq!(ecmp.mean_hops(), 2.0);
+    }
+
+    #[test]
+    fn disconnected_demand_counted_unrouted() {
+        let g: Graph<(), ()> = Graph::from_edges(4, vec![(0, 1, ()), (2, 3, ())]);
+        let csr = CsrGraph::from_graph(&g);
+        let mut d = vec![0.0; 16];
+        d[2] = 3.0; // 0 -> 2 impossible
+        d[1] = 1.0; // 0 -> 1 fine
+        let dense = Dense { n: 4, d };
+        for policy in [RoutePolicy::TreePath, RoutePolicy::Ecmp] {
+            let loads = link_loads(&csr, &dense, policy, 3);
+            assert_eq!(loads.unrouted_flows, 1);
+            assert_eq!(loads.unrouted_traffic, 3.0);
+            assert_eq!(loads.routed_traffic, 1.0);
+        }
+    }
+
+    #[test]
+    fn multi_model_matches_single_runs_bitwise() {
+        let g: Graph<(), ()> = Graph::from_edges(
+            7,
+            vec![
+                (0, 1, ()),
+                (1, 2, ()),
+                (2, 3, ()),
+                (3, 0, ()),
+                (2, 4, ()),
+                (4, 5, ()),
+                (5, 6, ()),
+                (6, 2, ()),
+            ],
+        );
+        let csr = CsrGraph::from_graph(&g);
+        let models: Vec<DemandMatrix> = [
+            DemandModel::Uniform,
+            DemandModel::Gravity {
+                distance_exponent: 0.0,
+            },
+            DemandModel::RankBiased { exponent: 1.0 },
+        ]
+        .into_iter()
+        .map(|model| {
+            DemandMatrix::build(
+                &csr,
+                None,
+                &DemandConfig {
+                    model,
+                    ..DemandConfig::default()
+                },
+            )
+        })
+        .collect();
+        let refs: Vec<&dyn OdDemand> = models.iter().map(|m| m as &dyn OdDemand).collect();
+        for policy in [RoutePolicy::TreePath, RoutePolicy::Ecmp] {
+            let multi = link_loads_multi(&csr, &refs, policy, 4);
+            for (dem, got) in models.iter().zip(&multi) {
+                let single = link_loads(&csr, dem, policy, 1);
+                assert_eq!(&single, got, "{:?}", policy);
+                // Conservation: total load equals traffic x hops.
+                assert!((got.total_load() - got.traffic_hops).abs() < 1e-9 * got.traffic_hops);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let g: Graph<(), ()> = Graph::from_edges(
+            9,
+            (0..8)
+                .map(|i| (i, i + 1, ()))
+                .chain([(0, 4, ()), (2, 7, ())])
+                .collect::<Vec<_>>(),
+        );
+        let csr = CsrGraph::from_graph(&g);
+        let dem = DemandMatrix::build(
+            &csr,
+            None,
+            &DemandConfig {
+                model: DemandModel::Gravity {
+                    distance_exponent: 0.0,
+                },
+                mass_jitter: 0.4,
+                seed: 5,
+                ..DemandConfig::default()
+            },
+        );
+        for policy in [RoutePolicy::TreePath, RoutePolicy::Ecmp] {
+            let reference = link_loads(&csr, &dem, policy, 1);
+            for threads in 2..=8 {
+                let got = link_loads(&csr, &dem, policy, threads);
+                let same = reference
+                    .link_load
+                    .iter()
+                    .zip(&got.link_load)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "{:?} diverged at {} threads", policy, threads);
+                assert_eq!(reference.traffic_hops.to_bits(), got.traffic_hops.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_loads() {
+        let g: Graph<(), ()> = Graph::new();
+        let csr = CsrGraph::from_graph(&g);
+        let dense = Dense { n: 0, d: vec![] };
+        let loads = link_loads(&csr, &dense, RoutePolicy::TreePath, 4);
+        assert!(loads.link_load.is_empty());
+        assert_eq!(loads.routed_flows, 0);
+        assert_eq!(loads.max_load(), 0.0);
+        assert_eq!(loads.mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn naive_missing_source_tree_is_unrouted() {
+        let (_, csr) = path4();
+        let forest = bfs_forest(&csr, &[NodeId(0)], 1);
+        let flows = vec![
+            Demand {
+                src: NodeId(2),
+                dst: NodeId(3),
+                amount: 4.0,
+            },
+            // Regression: an out-of-range destination is unrouted like
+            // in route(), not an index panic.
+            Demand {
+                src: NodeId(0),
+                dst: NodeId(99),
+                amount: 1.5,
+            },
+        ];
+        let out = naive_link_load(&csr, &forest, &flows);
+        assert_eq!(out.unrouted_flows, 2);
+        assert_eq!(out.unrouted_traffic, 5.5);
+    }
+}

@@ -1,0 +1,24 @@
+//! Helpers shared by the traffic test binaries.
+
+use hotgen::sim::demand::OdDemand;
+
+/// Restricts any demand to sources below `max_src` (all destinations):
+/// the source-band workload the traffic suites route, small enough for
+/// debug builds while the paths still traverse the full topology.
+pub struct Banded<D> {
+    pub inner: D,
+    pub max_src: usize,
+}
+
+impl<D: OdDemand> OdDemand for Banded<D> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+    fn demand(&self, src: usize, dst: usize) -> f64 {
+        if src < self.max_src {
+            self.inner.demand(src, dst)
+        } else {
+            0.0
+        }
+    }
+}

@@ -103,6 +103,8 @@ golden! {
     golden_e12_routing_load => "e12",
     golden_e13_policy_inflation => "e13",
     golden_e14_traceroute_bias => "e14",
+    golden_e15_traffic_load => "e15",
+    golden_e16_traffic_failure => "e16",
 }
 
 /// The registry and the golden directory must stay in one-to-one
@@ -136,11 +138,12 @@ fn golden_directory_matches_registry() {
 
 /// Thread count must never leak into the structured output. The full
 /// sweep is exercised in CI (`expctl --all --threads 1` vs `8` diffed
-/// byte-for-byte); here the three scenarios that use the parallel
-/// kernels run at 1 and 4 workers.
+/// byte-for-byte); here the scenarios that use the parallel kernels —
+/// including the batched traffic engine behind E15/E16 — run at 1 and 4
+/// workers.
 #[test]
 fn thread_count_does_not_change_reports() {
-    for id in ["e1", "e10", "e12"] {
+    for id in ["e1", "e10", "e12", "e15", "e16"] {
         let spec = registry::find(id).expect("registered");
         let serial = (spec.run)(ctx(1)).to_json().pretty();
         let parallel = (spec.run)(ctx(4)).to_json().pretty();
@@ -152,7 +155,41 @@ fn thread_count_does_not_change_reports() {
 /// visible in the structured output.
 #[test]
 fn degenerate_params_skip_cleanly() {
-    use hot_exp::scenarios::{e1, e5};
+    use hot_exp::scenarios::{e1, e15, e16, e5};
+    let report = e15::run(
+        &e15::Params {
+            glp_n: 3,
+            ..e15::Params::golden()
+        },
+        ctx(1),
+    );
+    assert!(matches!(report.status, ExpStatus::Skipped { .. }));
+    // More POPs than cities (or zero POPs) must skip, not trip the ISP
+    // generator's asserts.
+    let report = e15::run(
+        &e15::Params {
+            n_pops: 0,
+            ..e15::Params::golden()
+        },
+        ctx(1),
+    );
+    assert!(matches!(report.status, ExpStatus::Skipped { .. }));
+    let report = e16::run(
+        &e16::Params {
+            total_customers: 0,
+            ..e16::Params::golden()
+        },
+        ctx(1),
+    );
+    assert!(matches!(report.status, ExpStatus::Skipped { .. }));
+    let report = e16::run(
+        &e16::Params {
+            cities: 3,
+            ..e16::Params::golden() // golden fail_pops = 6 > 3 cities
+        },
+        ctx(1),
+    );
+    assert!(matches!(report.status, ExpStatus::Skipped { .. }));
     let report = e1::run(
         &e1::Params {
             n: 1,

@@ -2,15 +2,19 @@
 //!
 //! The scenario engine leans on structural guarantees the generators
 //! are supposed to keep across *all* parameters and seeds, not just the
-//! golden ones: FKP grows spanning trees, and the degree-based /
-//! structural baselines emit simple graphs (no self-loops, no parallel
-//! edges). These lock those invariants down.
+//! golden ones: FKP grows spanning trees, the degree-based / structural
+//! baselines emit simple graphs (no self-loops, no parallel edges), and
+//! the demand-matrix generators behind the traffic engine conserve
+//! traffic, stay symmetric with a zero diagonal, and regenerate
+//! byte-identically from a fixed seed. These lock those invariants down.
 
 use hotgen::baselines::{ba, glp, waxman};
 use hotgen::core::fkp::{self, FkpConfig};
+use hotgen::graph::csr::CsrGraph;
 use hotgen::graph::traversal::is_connected;
 use hotgen::graph::tree::is_tree;
-use hotgen::graph::Graph;
+use hotgen::graph::{Graph, NodeId};
+use hotgen::sim::demand::{DemandConfig, DemandMatrix, DemandModel, OdDemand};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,5 +99,148 @@ proptest! {
         let (self_loops, duplicates) = simplicity(&g);
         prop_assert_eq!(self_loops, 0, "n = {}, seed = {}", n, seed);
         prop_assert_eq!(duplicates, 0, "n = {}, seed = {}", n, seed);
+    }
+}
+
+/// A small random multigraph for the demand-matrix properties.
+fn demand_fixture(n: usize, pairs: &[(usize, usize)]) -> CsrGraph {
+    let mut g: Graph<(), ()> = Graph::new();
+    for _ in 0..n {
+        g.add_node(());
+    }
+    for &(a, b) in pairs {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32), ());
+        }
+    }
+    CsrGraph::from_graph(&g)
+}
+
+fn demand_models() -> [DemandModel; 3] {
+    [
+        DemandModel::Uniform,
+        DemandModel::Gravity {
+            distance_exponent: 1.0,
+        },
+        DemandModel::RankBiased { exponent: 1.0 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Conservation: the flows a matrix emits carry exactly its row
+    /// sums — per source and in total (twice the unordered-pair total,
+    /// which itself matches the configured traffic whenever any demand
+    /// is positive).
+    #[test]
+    fn demand_flows_conserve_row_and_total_sums(
+        n in 2usize..20,
+        pairs in proptest::collection::vec((0usize..20, 0usize..20), 1..40),
+        total in 1.0f64..10_000.0,
+        jitter in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let csr = demand_fixture(n, &pairs);
+        for model in demand_models() {
+            let dm = DemandMatrix::build(&csr, None, &DemandConfig {
+                model,
+                total_traffic: total,
+                mass_jitter: jitter as f64 * 0.4,
+                seed,
+                ..DemandConfig::default()
+            });
+            let flows = dm.flows();
+            for i in 0..n {
+                let emitted: f64 = flows
+                    .iter()
+                    .filter(|f| f.src.index() == i)
+                    .map(|f| f.amount)
+                    .sum();
+                let row = dm.row_sum(i);
+                prop_assert!(
+                    (emitted - row).abs() <= 1e-9 * row.max(1.0),
+                    "row {} emitted {} vs sum {} ({:?})", i, emitted, row, model
+                );
+            }
+            let offered: f64 = flows.iter().map(|f| f.amount).sum();
+            let matrix_total = dm.total();
+            prop_assert!((offered - 2.0 * matrix_total).abs() <= 1e-9 * matrix_total.max(1.0));
+            if matrix_total > 0.0 {
+                prop_assert!(
+                    (matrix_total - total).abs() <= 1e-9 * total,
+                    "total {} vs configured {} ({:?})", matrix_total, total, model
+                );
+            }
+        }
+    }
+
+    /// Symmetry and zero self-demand: `demand(i, j)` and `demand(j, i)`
+    /// are bit-identical (the undirected gravity model) and the diagonal
+    /// is exactly zero.
+    #[test]
+    fn demand_matrices_are_symmetric_with_zero_diagonal(
+        n in 2usize..20,
+        pairs in proptest::collection::vec((0usize..20, 0usize..20), 1..40),
+        jitter in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let csr = demand_fixture(n, &pairs);
+        for model in demand_models() {
+            let dm = DemandMatrix::build(&csr, None, &DemandConfig {
+                model,
+                mass_jitter: jitter as f64 * 0.4,
+                seed,
+                ..DemandConfig::default()
+            });
+            for i in 0..n {
+                prop_assert_eq!(dm.demand(i, i), 0.0);
+                for j in 0..n {
+                    prop_assert_eq!(
+                        dm.demand(i, j).to_bits(),
+                        dm.demand(j, i).to_bits(),
+                        "asymmetric at ({}, {}) under {:?}", i, j, model
+                    );
+                }
+            }
+        }
+    }
+
+    /// Determinism: a fixed seed regenerates the matrix byte-for-byte;
+    /// with jitter enabled, a different seed produces different masses.
+    #[test]
+    fn demand_matrices_are_seed_deterministic(
+        n in 2usize..20,
+        pairs in proptest::collection::vec((0usize..20, 0usize..20), 1..40),
+        seed in 0u64..1_000_000,
+    ) {
+        let csr = demand_fixture(n, &pairs);
+        for model in demand_models() {
+            let cfg = DemandConfig {
+                model,
+                mass_jitter: 0.4,
+                seed,
+                ..DemandConfig::default()
+            };
+            let a = DemandMatrix::build(&csr, None, &cfg);
+            let b = DemandMatrix::build(&csr, None, &cfg);
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert_eq!(a.demand(i, j).to_bits(), b.demand(i, j).to_bits());
+                }
+            }
+            let c = DemandMatrix::build(&csr, None, &DemandConfig {
+                seed: seed.wrapping_add(1),
+                ..cfg
+            });
+            // Masses differ somewhere whenever any node has positive mass
+            // (jitter redraws per node).
+            if (0..n).any(|v| a.mass(v) > 0.0) {
+                prop_assert!(
+                    (0..n).any(|v| a.mass(v).to_bits() != c.mass(v).to_bits()),
+                    "seed change left every mass identical ({:?})", model
+                );
+            }
+        }
     }
 }

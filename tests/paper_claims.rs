@@ -306,6 +306,73 @@ fn claim_e5_plr_powerlaw_tail_via_scenario_structs() {
     );
 }
 
+/// E15 via the scenario registry, the E12 routing-load claim made
+/// quantitative: routing ≥ 1M gravity OD flows, the designed ISP
+/// carries its peak link load on a provisioned core (backbone/metro)
+/// link and concentrates load onto the core well beyond the core's
+/// share of links, while the degree-based generators concentrate the
+/// same demand class on the links around their few top-degree hubs —
+/// far more than the design does.
+#[test]
+fn claim_e15_core_vs_hub_load_concentration() {
+    use hot_exp::scenarios::e15;
+    let p = e15::Params::golden();
+    let rows = e15::traffic_rows(
+        &p,
+        hot_exp::SEED,
+        hotgen::graph::parallel::default_threads(),
+    );
+    let row = |topology: &str, model: &str| {
+        rows.iter()
+            .find(|r| r.topology == topology && r.model == model)
+            .unwrap_or_else(|| panic!("row {}/{} missing", topology, model))
+    };
+    let isp = row("isp(designed)", "gravity");
+    let glp = row("glp", "gravity");
+    let ba = row("ba(m=2)", "gravity");
+    // The golden preset really is a millions-of-flows workload.
+    assert!(
+        glp.routed_flows >= 1_000_000,
+        "glp routed {} flows",
+        glp.routed_flows
+    );
+    assert!(rows.iter().map(|r| r.routed_flows).sum::<u64>() >= 4_000_000);
+    // HOT side: the single most-loaded link is a designed trunk, and
+    // the core's load share is well above its link share.
+    assert_eq!(isp.peak_on_core, Some(true));
+    let core_share = isp.core_load_share.expect("isp rows classify core links");
+    let core_links = isp
+        .core_link_fraction
+        .expect("isp rows classify core links");
+    assert!(
+        core_share > 1.5 * core_links,
+        "core load {} vs core links {}",
+        core_share,
+        core_links
+    );
+    // Degree side: the hub neighborhood soaks up the majority of load...
+    assert!(
+        glp.hub_load_share > 0.5,
+        "glp hub share {}",
+        glp.hub_load_share
+    );
+    assert!(glp.hub_link_fraction < 0.4);
+    // ...far beyond what the capped-degree design routes through *its*
+    // top-degree routers.
+    assert!(
+        glp.hub_load_share > 2.0 * isp.hub_load_share,
+        "glp hub {} vs isp hub {}",
+        glp.hub_load_share,
+        isp.hub_load_share
+    );
+    assert!(
+        ba.hub_load_share > 2.0 * isp.hub_load_share,
+        "ba hub {} vs isp hub {}",
+        ba.hub_load_share,
+        isp.hub_load_share
+    );
+}
+
 /// §1: two generators matched on the degree-tail class still differ on
 /// other metrics (the critique of descriptive modeling).
 #[test]
