@@ -1,0 +1,70 @@
+//! Policy-routing micro-benchmarks: AS-topology construction (from a
+//! generated internet and degree-inferred from a BA graph), one flat
+//! valley-free propagation, and the batched summary sweep (serial vs
+//! parallel). CI runs this harness with `CRITERION_JSON=BENCH_bgp.json`
+//! so the subsystem's perf trajectory is tracked per commit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hot_baselines::ba;
+use hot_bgp::{policy_summary, AsTopology, PropagationScratch, RouteTable};
+use hot_core::isp::generator::IspConfig;
+use hot_core::peering::{generate_internet, InternetConfig};
+use hot_exp::standard_geography;
+use hot_graph::parallel::default_threads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bgp(c: &mut Criterion) {
+    let threads = default_threads();
+
+    // Economics-built internet (the E17 golden shape).
+    let (census, traffic) = standard_geography(12, 20030617);
+    let config = InternetConfig {
+        n_isps: 16,
+        max_pops: 6,
+        tier1_count: 3,
+        transit_per_isp: 2,
+        customers_per_pop: 3,
+        isp_template: IspConfig::default(),
+        ..InternetConfig::default()
+    };
+    let net = generate_internet(
+        &census,
+        &traffic,
+        &config,
+        &mut StdRng::seed_from_u64(20030617),
+    );
+
+    // Degree-inferred hierarchy at propagation scale.
+    let g = ba::generate(20_000, 2, &mut StdRng::seed_from_u64(20030617));
+    let topo = AsTopology::from_graph_by_degree(&g, 10);
+    let band: Vec<u32> = (0..256u32).collect();
+
+    let mut group = c.benchmark_group("bgp");
+    group.sample_size(10);
+    group.bench_function("topology_from_internet16", |b| {
+        b.iter(|| black_box(AsTopology::from_internet(&net)))
+    });
+    group.bench_function("topology_by_degree_ba20k", |b| {
+        b.iter(|| black_box(AsTopology::from_graph_by_degree(&g, 10)))
+    });
+    group.bench_function("propagate_one_source_ba20k", |b| {
+        let mut scratch = PropagationScratch::for_topology(&topo);
+        let mut table = RouteTable::sized(topo.len());
+        b.iter(|| {
+            topo.propagate_into(black_box(0), &mut scratch, &mut table);
+            black_box(table.dist[topo.len() - 1])
+        })
+    });
+    group.bench_function("summary_band256_serial", |b| {
+        b.iter(|| black_box(policy_summary(&topo, &band, 1)))
+    });
+    group.bench_function(format!("summary_band256_par{}", threads).as_str(), |b| {
+        b.iter(|| black_box(policy_summary(&topo, &band, threads)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bgp);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! # hot-bgp — policy routing over generated internets
+//!
+//! The paper's §2.3 builds peering economics — tier-1 cliques, transit
+//! contracts, settlement-free peering — into the multi-ISP generator,
+//! and those contracts constrain routing: BGP paths are *valley-free*
+//! (Gao–Rexford), not shortest. A route learned from a customer is
+//! exported to everyone; a route learned from a peer or provider is
+//! exported only to customers. This crate is the subsystem that honors
+//! those rules at scale:
+//!
+//! - [`topology`] — [`AsTopology`]: the AS-level relationship network in
+//!   flat CSR form, each AS labeled with an economic [`AsClass`]
+//!   (tier-1 / tier-2 / cloud / stub) derived from the generator's own
+//!   economics, or inferred by degree for baseline (BA/GLP) graphs.
+//! - [`propagate`] — the per-source valley-free kernel: a three-phase
+//!   BFS over `(as, phase)` states writing a flat [`RouteTable`]
+//!   (distances + path-membership flags), allocation-free after its
+//!   [`PropagationScratch`] exists and hardened against out-of-range
+//!   sources.
+//! - [`summary`] — the batched sweep: one propagation per source, fanned
+//!   over `hot-graph`'s deterministic 64-chunk scheduler, reduced into
+//!   the all-integer [`PolicySummary`] (path-inflation histogram/CCDF vs
+//!   unrestricted shortest paths, provider-free / tier1-free /
+//!   hierarchy-free counts per source class). Bit-identical at any
+//!   thread count.
+//!
+//! Scenario E17 (`policy-routing` in `hot-exp`) drives this over HOT
+//! and degree-based internets; `hot-sim::bgp` keeps the small
+//! per-source distance query used by E13.
+
+pub mod propagate;
+pub mod summary;
+pub mod topology;
+
+pub use propagate::{PropagationScratch, RouteTable, UNREACHED};
+pub use summary::{policy_summary, policy_summary_all, ClassPathCounts, PolicySummary};
+pub use topology::{AsClass, AsTopology};

@@ -28,7 +28,7 @@ struct Args {
 }
 
 const USAGE: &str = "\
-expctl — run the E1-E16 scenario registry
+expctl — run the E1-E17 scenario registry
 
 USAGE:
   expctl --list                      list registered scenarios
@@ -149,7 +149,7 @@ fn main() -> ExitCode {
                 Some(spec) => out.push((spec.run)(ctx)),
                 None => {
                     eprintln!(
-                        "expctl: unknown scenario {:?}; ids are e1..e16 (see --list)",
+                        "expctl: unknown scenario {:?}; ids are e1..e17 (see --list)",
                         key
                     );
                     return ExitCode::FAILURE;

@@ -1,4 +1,4 @@
-//! The scenario registry: E1–E16 as uniform, runnable entries.
+//! The scenario registry: E1–E17 as uniform, runnable entries.
 //!
 //! Each entry is a [`ScenarioSpec`] — id, name, one-line summary, and a
 //! `fn(RunCtx) -> ExpReport` that resolves the scale to that scenario's
@@ -53,7 +53,7 @@ pub struct RunCtx {
 
 /// One registered scenario.
 pub struct ScenarioSpec {
-    /// Registry id (`"e1"` … `"e16"`), the `--run` argument.
+    /// Registry id (`"e1"` … `"e17"`), the `--run` argument.
     pub id: &'static str,
     /// Short machine name (`"fkp-regimes"`).
     pub name: &'static str,
@@ -76,7 +76,7 @@ macro_rules! spec {
     };
 }
 
-static REGISTRY: [ScenarioSpec; 16] = [
+static REGISTRY: [ScenarioSpec; 17] = [
     spec!(
         "e1",
         e1,
@@ -173,6 +173,12 @@ static REGISTRY: [ScenarioSpec; 16] = [
         "traffic-failure",
         "link cuts redistribute load: mesh absorbs at bounded peak, tree strands"
     ),
+    spec!(
+        "e17",
+        e17,
+        "policy-routing",
+        "batched valley-free BGP: path inflation and hierarchy-free paths, HOT vs GLP/BA"
+    ),
 ];
 
 /// All registered scenarios, in E-number order.
@@ -207,9 +213,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_sixteen_in_order() {
+    fn registry_has_all_seventeen_in_order() {
         let ids: Vec<&str> = registry().iter().map(|s| s.id).collect();
-        let expected: Vec<String> = (1..=16).map(|i| format!("e{}", i)).collect();
+        let expected: Vec<String> = (1..=17).map(|i| format!("e{}", i)).collect();
         assert_eq!(ids, expected.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     }
 
@@ -219,7 +225,9 @@ mod tests {
         assert_eq!(find("robustness").map(|s| s.id), Some("e10"));
         assert_eq!(find("e15").map(|s| s.name), Some("traffic-load"));
         assert_eq!(find("traffic-failure").map(|s| s.id), Some("e16"));
-        assert!(find("e17").is_none());
+        assert_eq!(find("e17").map(|s| s.name), Some("policy-routing"));
+        assert_eq!(find("policy-routing").map(|s| s.id), Some("e17"));
+        assert!(find("e18").is_none());
     }
 
     #[test]

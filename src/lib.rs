@@ -19,7 +19,10 @@
 //!   (`hot-baselines`);
 //! - [`metrics`] — the comparison battery (`hot-metrics`);
 //! - [`sim`] — protocols on top: routing load, failures, valley-free BGP,
-//!   traceroute-style map inference (`hot-sim`).
+//!   traceroute-style map inference (`hot-sim`);
+//! - [`bgp`] — the policy-routing subsystem: labeled AS topologies and
+//!   batched valley-free (Gao–Rexford) path propagation with
+//!   path-inflation and hierarchy-free analytics (`hot-bgp`).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 //! ```
 
 pub use hot_baselines as baselines;
+pub use hot_bgp as bgp;
 pub use hot_core as core;
 pub use hot_econ as econ;
 pub use hot_geo as geo;

@@ -1,0 +1,139 @@
+//! Integration tests for the `hot-bgp` policy-routing subsystem: the
+//! batched propagation must agree with the small reference
+//! implementation in `hot-sim::bgp` on generator-built internets, never
+//! beat the unrestricted shortest path, stay bit-identical across
+//! thread counts, and derive AS classes that match the economics the
+//! generator wired.
+
+use hotgen::bgp::{policy_summary, policy_summary_all, AsClass, AsTopology, UNREACHED};
+use hotgen::core::isp::generator::IspConfig;
+use hotgen::core::peering::{generate_internet, Internet, InternetConfig};
+use hotgen::sim::bgp::AsNetwork;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small generated internet: `n_isps` designed ISPs peered with
+/// `tier1` at the top and `transit` upstreams each.
+fn internet(cities: usize, n_isps: usize, tier1: usize, transit: usize, seed: u64) -> Internet {
+    let (census, traffic) = hot_exp::standard_geography(cities, seed);
+    let config = InternetConfig {
+        n_isps,
+        max_pops: 4,
+        tier1_count: tier1,
+        transit_per_isp: transit,
+        customers_per_pop: 2,
+        isp_template: IspConfig::default(),
+        ..InternetConfig::default()
+    };
+    generate_internet(&census, &traffic, &config, &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On random generated internets the flat batched kernel and the
+    /// reference `hot-sim` BFS agree exactly — valley-free distances,
+    /// unrestricted distances, and the vf >= sp property per pair.
+    #[test]
+    fn propagation_matches_reference_and_never_beats_shortest(
+        cities in 4usize..9,
+        n_isps in 4usize..14,
+        tier1 in 1usize..4,
+        transit in 1usize..4,
+        seed in 0u64..100_000,
+    ) {
+        let tier1 = tier1.min(n_isps - 1);
+        let net = internet(cities, n_isps, tier1, transit, seed);
+        let reference = AsNetwork::from_internet(&net);
+        let topo = AsTopology::from_internet(&net);
+        prop_assert_eq!(topo.len(), reference.len());
+        for src in 0..topo.len() {
+            let table = topo.propagate(src);
+            let sp = topo.shortest(src);
+            let ref_vf = reference.valley_free_distances(src);
+            let ref_sp = reference.shortest_distances(src);
+            for d in 0..topo.len() {
+                // Differential: flat kernel == reference BFS, both faces.
+                let vf = (table.dist[d] != UNREACHED).then_some(table.dist[d]);
+                prop_assert_eq!(vf, ref_vf[d], "vf src {} dst {}", src, d);
+                let sp_d = (sp[d] != UNREACHED).then_some(sp[d]);
+                prop_assert_eq!(sp_d, ref_sp[d], "sp src {} dst {}", src, d);
+                // Property: policy can only lengthen or deny a route.
+                if let Some(vf) = vf {
+                    let sp_d = sp_d.expect("vf-reachable implies BFS-reachable");
+                    prop_assert!(vf >= sp_d, "src {} dst {}: vf {} < sp {}", src, d, vf, sp_d);
+                }
+            }
+        }
+    }
+
+    /// The batched summary is a pure function of `(topology, sources)`:
+    /// byte-identical at 1 vs 8 worker threads on random internets.
+    #[test]
+    fn batched_summary_identical_at_1_vs_8_threads(
+        n_isps in 4usize..14,
+        transit in 1usize..4,
+        seed in 0u64..100_000,
+    ) {
+        let net = internet(6, n_isps, 2, transit, seed);
+        let topo = AsTopology::from_internet(&net);
+        let serial = policy_summary_all(&topo, 1);
+        prop_assert_eq!(&policy_summary_all(&topo, 8), &serial);
+        // Subsets (including an out-of-range source) too.
+        let band: Vec<u32> = (0..topo.len() as u32).step_by(2).chain([9999]).collect();
+        let one = policy_summary(&topo, &band, 1);
+        prop_assert_eq!(&policy_summary(&topo, &band, 8), &one);
+    }
+}
+
+/// Class labels recover the economics the generator wired: exactly
+/// `tier1_count` provider-less ASes at the top, transit sellers below
+/// them, and every class-count total equals the AS count.
+#[test]
+fn class_labels_match_generator_economics() {
+    let net = internet(10, 12, 3, 2, 20030617);
+    let topo = AsTopology::from_internet(&net);
+    let counts = topo.class_counts();
+    assert_eq!(counts[AsClass::Tier1.index()], 3);
+    assert_eq!(counts.iter().sum::<usize>(), topo.len());
+    for a in 0..topo.len() {
+        match topo.class(a) {
+            AsClass::Tier1 => assert!(topo.providers(a).is_empty()),
+            AsClass::Tier2 => {
+                assert!(!topo.providers(a).is_empty());
+                assert!(!topo.customers(a).is_empty());
+            }
+            AsClass::Cloud | AsClass::Stub => {
+                assert!(!topo.providers(a).is_empty());
+                assert!(topo.customers(a).is_empty());
+            }
+        }
+    }
+    // The relationship multigraph collapses to the same simple adjacency
+    // the reference builder produces.
+    let reference = AsNetwork::from_internet(&net);
+    for a in 0..topo.len() {
+        let prov: Vec<usize> = topo.providers(a).iter().map(|&x| x as usize).collect();
+        let mut want = reference.providers[a].clone();
+        want.sort_unstable();
+        assert_eq!(prov, want, "providers of {}", a);
+    }
+}
+
+/// Hardening regression (PR 5 convention): out-of-range sources reach
+/// nothing through every public entry point instead of panicking.
+#[test]
+fn out_of_range_sources_reach_nothing() {
+    let net = internet(6, 8, 2, 2, 7);
+    let topo = AsTopology::from_internet(&net);
+    let table = topo.propagate(topo.len() + 3);
+    assert!(table.dist.iter().all(|&d| d == UNREACHED));
+    assert!(topo
+        .shortest(usize::MAX >> 8)
+        .iter()
+        .all(|&d| d == UNREACHED));
+    let s = policy_summary(&topo, &[topo.len() as u32 + 7], 4);
+    assert_eq!(s.policy_reachable, 0);
+    assert_eq!(s.pairs, topo.len() as u64);
+}

@@ -1,0 +1,80 @@
+//! The acceptance bar for the policy-routing subsystem: batched
+//! valley-free propagation completes a 50k-AS internet and the
+//! chunk-scheduled sweep beats the single-thread run by ≥ 2× — with the
+//! summary exactly identical (integer counters) at every thread count.
+//!
+//! Like `csr_speedup.rs` and `traffic_speedup.rs`, this is a *timing*
+//! test and lives alone in its own test binary: cargo runs test
+//! binaries sequentially and a single `#[test]` gets the whole process,
+//! so the measurement does not contend with the 8-thread equivalence
+//! suites. In debug builds the size drops and only equivalence is
+//! asserted; the timing gate arms in release on ≥ 4 cores (the release
+//! CI job).
+
+use hotgen::baselines::ba;
+use hotgen::bgp::{policy_summary, AsTopology};
+use hotgen::graph::parallel::default_threads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+#[test]
+fn batched_propagation_speedup_ba50k() {
+    let (n, n_sources) = if cfg!(debug_assertions) {
+        (4_000, 160)
+    } else {
+        (50_000, 1_024)
+    };
+    // A 50k-AS internet with a degree-inferred hierarchy: the scale the
+    // flat SoA route tables are built for.
+    let g = ba::generate(n, 2, &mut StdRng::seed_from_u64(20030617));
+    let t0 = Instant::now();
+    let topo = AsTopology::from_graph_by_degree(&g, 10);
+    let build_time = t0.elapsed();
+    assert_eq!(topo.len(), n);
+    let band: Vec<u32> = (0..n_sources as u32).collect();
+    let threads = default_threads();
+
+    let t1 = Instant::now();
+    let serial = policy_summary(&topo, &band, 1);
+    let serial_time = t1.elapsed();
+
+    let t2 = Instant::now();
+    let parallel = policy_summary(&topo, &band, threads);
+    let parallel_time = t2.elapsed();
+
+    // Exactly identical — the summary is integer counters merged in
+    // chunk order, so there is not even a float tolerance to argue
+    // about. (An 8-thread run must match too, whatever `threads` is.)
+    assert_eq!(serial, parallel, "1 vs {} threads diverged", threads);
+    assert_eq!(
+        serial,
+        policy_summary(&topo, &band, 8),
+        "1 vs 8 threads diverged"
+    );
+
+    // The sweep did real work: every source saw the giant component.
+    assert_eq!(serial.sources, n_sources as u64);
+    assert!(serial.policy_reachable > 0);
+    assert!(serial.sum_policy_hops >= serial.sum_shortest_hops);
+
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
+    println!(
+        "ba{}: build {:.3}s; {} sources; serial {:.3}s, parallel({} threads) {:.3}s, speedup {:.2}x",
+        n,
+        build_time.as_secs_f64(),
+        n_sources,
+        serial_time.as_secs_f64(),
+        threads,
+        parallel_time.as_secs_f64(),
+        speedup
+    );
+    if !cfg!(debug_assertions) && threads >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x over single-thread on {} threads, measured {:.2}x",
+            threads,
+            speedup
+        );
+    }
+}

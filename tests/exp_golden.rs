@@ -105,6 +105,7 @@ golden! {
     golden_e14_traceroute_bias => "e14",
     golden_e15_traffic_load => "e15",
     golden_e16_traffic_failure => "e16",
+    golden_e17_policy_routing => "e17",
 }
 
 /// The registry and the golden directory must stay in one-to-one
@@ -139,11 +140,11 @@ fn golden_directory_matches_registry() {
 /// Thread count must never leak into the structured output. The full
 /// sweep is exercised in CI (`expctl --all --threads 1` vs `8` diffed
 /// byte-for-byte); here the scenarios that use the parallel kernels —
-/// including the batched traffic engine behind E15/E16 — run at 1 and 4
-/// workers.
+/// including the batched traffic engine behind E15/E16 and the batched
+/// valley-free propagation behind E17 — run at 1 and 4 workers.
 #[test]
 fn thread_count_does_not_change_reports() {
-    for id in ["e1", "e10", "e12", "e15", "e16"] {
+    for id in ["e1", "e10", "e12", "e15", "e16", "e17"] {
         let spec = registry::find(id).expect("registered");
         let serial = (spec.run)(ctx(1)).to_json().pretty();
         let parallel = (spec.run)(ctx(4)).to_json().pretty();
@@ -155,7 +156,7 @@ fn thread_count_does_not_change_reports() {
 /// visible in the structured output.
 #[test]
 fn degenerate_params_skip_cleanly() {
-    use hot_exp::scenarios::{e1, e15, e16, e5};
+    use hot_exp::scenarios::{e1, e15, e16, e17, e5};
     let report = e15::run(
         &e15::Params {
             glp_n: 3,
@@ -210,6 +211,16 @@ fn degenerate_params_skip_cleanly() {
             resolution: 0,
             samples: 0,
             ccdf_steps: 5,
+        },
+        ctx(1),
+    );
+    assert!(matches!(report.status, ExpStatus::Skipped { .. }));
+    // Fewer ISPs than the tier-1 clique must skip, not panic inside the
+    // internet generator.
+    let report = e17::run(
+        &e17::Params {
+            n_isps: 1,
+            ..e17::Params::golden()
         },
         ctx(1),
     );

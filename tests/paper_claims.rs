@@ -398,3 +398,71 @@ fn claim_matched_tail_unmatched_structure() {
     assert!(b.resilience > 2.0 * a.resilience);
     assert!(b.expansion3 > 1.2 * a.expansion3);
 }
+
+/// E17 / §2.3: valley-free export has a measurable cost on every
+/// generated topology (policy inflation exceeds zero), and the cost is a
+/// generator fingerprint — the economics-built internet routes
+/// near-shortest where the BA-style degree hierarchy inflates heavily
+/// and even loses reachability.
+#[test]
+fn claim_e17_policy_inflation_differs_by_generator() {
+    use hot_exp::scenarios::e17;
+    let p = e17::Params::golden();
+    let rows = e17::policy_rows(
+        &p,
+        hot_exp::SEED,
+        hotgen::graph::parallel::default_threads(),
+    );
+    let row = |topology: &str| {
+        rows.iter()
+            .find(|r| r.topology == topology)
+            .unwrap_or_else(|| panic!("row {} missing", topology))
+    };
+    let hot = &row("hot(internet)").summary;
+    let glp = &row("glp").summary;
+    let ba = &row("ba(m=2)").summary;
+    // Policy inflation exceeds zero on every topology: some pair pays
+    // extra hops for valley-freedom (exact integer counters, no
+    // tolerance needed).
+    for (name, s) in [("hot", hot), ("glp", glp), ("ba", ba)] {
+        assert!(
+            s.sum_policy_hops > s.sum_shortest_hops,
+            "{}: policy {} vs shortest {} hops",
+            name,
+            s.sum_policy_hops,
+            s.sum_shortest_hops
+        );
+        assert!(s.inflated_fraction() > 0.0, "{} has no inflated pair", name);
+    }
+    // ...and the magnitude separates the generators: the designed
+    // internet stays near-shortest (about 1% of pairs inflated), while
+    // the BA degree hierarchy inflates an order of magnitude more
+    // and denies reachability the raw graph allows.
+    assert!(
+        hot.inflated_fraction() < 0.05,
+        "hot inflated {}",
+        hot.inflated_fraction()
+    );
+    assert!(
+        ba.inflated_fraction() > 10.0 * hot.inflated_fraction(),
+        "ba {} vs hot {}",
+        ba.inflated_fraction(),
+        hot.inflated_fraction()
+    );
+    assert!(
+        ba.inflated_fraction() > 10.0 * glp.inflated_fraction(),
+        "ba {} vs glp {}",
+        ba.inflated_fraction(),
+        glp.inflated_fraction()
+    );
+    assert_eq!(hot.policy_reachability(), 1.0, "hot loses reachability");
+    assert!(
+        ba.policy_reachability() < 1.0,
+        "ba keeps full reachability ({})",
+        ba.policy_reachability()
+    );
+    // The classification is economics-grounded on the HOT side: the
+    // tier-1 clique the generator wired is exactly what the labels find.
+    let hot_row = row("hot(internet)");
+    assert_eq!(hot_row.class_counts[0], p.tier1_count);
+}
