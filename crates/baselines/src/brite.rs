@@ -194,8 +194,8 @@ mod tests {
             g.degree_sequence().into_iter().max().unwrap()
         };
         // Averages over a few seeds to dodge variance.
-        let pref: usize = (0..3).map(|s| hub_of(true, s)).sum();
-        let unif: usize = (0..3).map(|s| hub_of(false, s)).sum();
+        let pref: u32 = (0..3).map(|s| hub_of(true, s)).sum();
+        let unif: u32 = (0..3).map(|s| hub_of(false, s)).sum();
         assert!(pref > unif, "preferential {} vs uniform {}", pref, unif);
     }
 

@@ -121,7 +121,7 @@ fn add_connected_domain(
     let k = labels.iter().copied().max().map_or(0, |m| m + 1);
     if k > 1 {
         // First node of each component, linked in a chain.
-        let mut reps = Vec::with_capacity(k);
+        let mut reps = Vec::with_capacity(k as usize);
         for c in 0..k {
             let rep = labels
                 .iter()

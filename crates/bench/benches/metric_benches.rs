@@ -30,13 +30,13 @@ fn bench_metrics(c: &mut Criterion) {
 
 fn bench_fits(c: &mut Criterion) {
     // A big synthetic power-law sample.
-    let sample: Vec<usize> = {
+    let sample: Vec<u32> = {
         let mut rng = StdRng::seed_from_u64(2);
         use rand::Rng;
         (0..100_000)
             .map(|_| {
                 let u: f64 = rng.random_range(0.0f64..1.0);
-                ((1.0 - u).powf(-1.0 / 1.5).round() as usize).clamp(1, 10_000)
+                ((1.0 - u).powf(-1.0 / 1.5).round() as u32).clamp(1, 10_000)
             })
             .collect()
     };

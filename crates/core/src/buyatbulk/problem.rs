@@ -183,7 +183,7 @@ impl AccessNetwork {
     }
 
     /// Undirected degree sequence over solution nodes.
-    pub fn degree_sequence(&self) -> Vec<usize> {
+    pub fn degree_sequence(&self) -> Vec<u32> {
         self.tree.degree_sequence()
     }
 
@@ -263,7 +263,7 @@ mod tests {
     fn degree_sum_invariant() {
         let sol = AccessNetwork::from_parents(&[0, 0, 1, 1, 0]);
         let degs = sol.degree_sequence();
-        assert_eq!(degs.iter().sum::<usize>(), 2 * (sol.len() - 1));
+        assert_eq!(degs.iter().sum::<u32>() as usize, 2 * (sol.len() - 1));
     }
 
     #[test]

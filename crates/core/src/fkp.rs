@@ -89,7 +89,7 @@ impl FkpTopology {
     }
 
     /// Undirected degree sequence.
-    pub fn degree_sequence(&self) -> Vec<usize> {
+    pub fn degree_sequence(&self) -> Vec<u32> {
         self.tree.degree_sequence()
     }
 
@@ -337,7 +337,7 @@ mod tests {
             // Tree has n nodes, n-1 edges, degree sum 2(n-1).
             prop_assert_eq!(t.tree.len(), n);
             let degs = t.degree_sequence();
-            prop_assert_eq!(degs.iter().sum::<usize>(), 2 * (n - 1));
+            prop_assert_eq!(degs.iter().sum::<u32>() as usize, 2 * (n - 1));
             // All points in region.
             for p in &t.points {
                 prop_assert!(BoundingBox::unit().contains(p));

@@ -110,11 +110,11 @@ impl IspTopology {
     }
 
     /// Degree sequence restricted to routers of one role.
-    pub fn degree_sequence_of(&self, role: RouterRole) -> Vec<usize> {
+    pub fn degree_sequence_of(&self, role: RouterRole) -> Vec<u32> {
         self.graph
             .node_ids()
             .filter(|&v| self.graph.node_weight(v).role == role)
-            .map(|v| self.graph.degree(v))
+            .map(|v| self.graph.degree(v) as u32)
             .collect()
     }
 

@@ -177,7 +177,7 @@ impl Internet {
     }
 
     /// AS degree of each ISP (number of distinct AS neighbors).
-    pub fn as_degrees(&self) -> Vec<usize> {
+    pub fn as_degrees(&self) -> Vec<u32> {
         self.as_graph().degree_sequence()
     }
 }

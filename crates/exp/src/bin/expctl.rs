@@ -24,6 +24,7 @@ struct Args {
     scale: Scale,
     threads: usize,
     json_dir: Option<PathBuf>,
+    snapshot_dir: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -40,6 +41,9 @@ OPTIONS:
   --scale <s>        golden | full (default full; golden = small/CI sizes)
   --threads <n>      worker threads (default: all cores; never changes output)
   --json <dir>       write <dir>/<id>.json per scenario
+  --snapshot-dir <d> cache built topologies as <d>/<key>.snap binary
+                     snapshots; warm runs reload instead of regenerating
+                     (wall-clock only, output bytes never change)
   --quiet            suppress the human-readable report text
   --help             this message
 ";
@@ -53,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Full,
         threads: hot_graph::parallel::default_threads(),
         json_dir: None,
+        snapshot_dir: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -84,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
                     .max(1);
             }
             "--json" => args.json_dir = Some(PathBuf::from(value("--json")?)),
+            "--snapshot-dir" => args.snapshot_dir = Some(PathBuf::from(value("--snapshot-dir")?)),
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
                 print!("{}", USAGE);
@@ -139,14 +145,15 @@ fn main() -> ExitCode {
         scale: args.scale,
         seed: args.seed,
         threads: args.threads,
+        snapshot_dir: args.snapshot_dir.clone(),
     };
     let reports: Vec<ExpReport> = if args.all {
-        run_all(ctx)
+        run_all(ctx.clone())
     } else {
         let mut out = Vec::new();
         for key in &args.run {
             match registry::find(key) {
-                Some(spec) => out.push((spec.run)(ctx)),
+                Some(spec) => out.push((spec.run)(ctx.clone())),
                 None => {
                     eprintln!(
                         "expctl: unknown scenario {:?}; ids are e1..e17 (see --list)",

@@ -3,10 +3,12 @@
 //! scenario engine does not depend on the bench crate), and the
 //! customer-demand workload the traffic scenarios route.
 
+use crate::registry::RunCtx;
 use hot_core::isp::{IspTopology, RouterRole};
 use hot_geo::gravity::{GravityConfig, TrafficMatrix};
 use hot_geo::point::Point;
 use hot_geo::population::{Census, CensusConfig};
+use hot_graph::io::Snapshot;
 use hot_sim::demand::DemandMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,6 +61,37 @@ pub fn customer_masses(isp: &IspTopology) -> (Vec<f64>, Vec<Point>) {
 pub fn customer_gravity_demand(isp: &IspTopology, total_traffic: f64) -> DemandMatrix {
     let (mass, positions) = customer_masses(isp);
     DemandMatrix::from_masses(mass, Some(positions), 1.0, 1.0, total_traffic)
+}
+
+/// Returns `<dir>/<key>.snap` from the context's snapshot cache, or
+/// builds it with `build` and (when a cache directory is configured)
+/// persists it for the next run.
+///
+/// The cache key must encode every input the build depends on (scale,
+/// seed, parameters); callers own that contract. Corrupt or
+/// unreadable cache files are rebuilt, never trusted — `Snapshot::load`
+/// verifies the checksum before anything is consumed. Warm and cold
+/// paths return the same columns bit-for-bit, so cached runs keep the
+/// byte-determinism guarantee of everything downstream.
+pub fn cached_snapshot(ctx: &RunCtx, key: &str, build: impl FnOnce() -> Snapshot) -> Snapshot {
+    let Some(dir) = &ctx.snapshot_dir else {
+        return build();
+    };
+    let path = dir.join(format!("{}.snap", key));
+    if let Ok(snap) = Snapshot::load(&path) {
+        return snap;
+    }
+    let snap = build();
+    if std::fs::create_dir_all(dir)
+        .map_err(hot_graph::io::SnapshotError::Io)
+        .and_then(|_| snap.save(&path))
+        .is_err()
+    {
+        // A read-only or full cache directory degrades to cold builds;
+        // it must never fail the experiment itself.
+        eprintln!("warning: could not write snapshot {}", path.display());
+    }
+    snap
 }
 
 #[cfg(test)]

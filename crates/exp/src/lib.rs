@@ -43,6 +43,7 @@ pub fn print_scenario(id: &str) {
         scale: Scale::Full,
         seed: SEED,
         threads: hot_graph::parallel::default_threads(),
+        snapshot_dir: None,
     };
     print!("{}", (spec.run)(ctx).render_text());
 }

@@ -41,7 +41,7 @@ impl Scale {
 }
 
 /// Everything a scenario run needs besides its parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunCtx {
     pub scale: Scale,
     /// Base seed; scenarios derive all their RNG streams from it.
@@ -49,6 +49,11 @@ pub struct RunCtx {
     /// Worker threads for the deterministic parallel kernels. Never
     /// affects results, only wall-clock.
     pub threads: usize,
+    /// Directory for cached binary topology snapshots
+    /// (`hot_graph::io::Snapshot`); `None` disables the cache. Like
+    /// `threads`, this only changes wall-clock: a warm cache replays
+    /// the exact bytes the cold build produced.
+    pub snapshot_dir: Option<std::path::PathBuf>,
 }
 
 /// One registered scenario.
@@ -201,11 +206,12 @@ pub fn run_all(ctx: RunCtx) -> Vec<ExpReport> {
     // kernels a single worker so `--all --threads N` spawns ~N OS
     // threads instead of N². Results are thread-count-independent, so
     // this only shapes wall-clock.
+    let threads = ctx.threads;
     let inner = RunCtx {
-        threads: if ctx.threads > 1 { 1 } else { ctx.threads },
+        threads: if threads > 1 { 1 } else { threads },
         ..ctx
     };
-    par_map(specs, ctx.threads, |_, spec| (spec.run)(inner))
+    par_map(specs, threads, |_, spec| (spec.run)(inner.clone()))
 }
 
 #[cfg(test)]

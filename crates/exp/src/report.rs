@@ -119,7 +119,7 @@ impl ExpReport {
         name: impl Into<String>,
         title: impl Into<String>,
         claim: impl Into<String>,
-        ctx: RunCtx,
+        ctx: &RunCtx,
     ) -> ExpReport {
         ExpReport {
             scenario: scenario.into(),
@@ -358,6 +358,7 @@ mod tests {
             scale,
             seed,
             threads: 1,
+            snapshot_dir: None,
         }
     }
 
@@ -367,7 +368,7 @@ mod tests {
             "sample",
             "E0: sample",
             "claims are testable",
-            ctx(7, Scale::Golden),
+            &ctx(7, Scale::Golden),
         );
         r.param("n", 10usize);
         let mut t = Table::new(&["name", "value"]);
@@ -395,7 +396,7 @@ mod tests {
 
     #[test]
     fn skipped_reports_keep_metadata_and_carry_the_reason() {
-        let mut r = ExpReport::new("e1", "x", "E1", "c", ctx(99, Scale::Full));
+        let mut r = ExpReport::new("e1", "x", "E1", "c", &ctx(99, Scale::Full));
         r.param("n", 1usize);
         let r = r.into_skipped("n < 2");
         let j = r.to_json().pretty();

@@ -68,7 +68,7 @@ impl Params {
 pub struct RegimeRow {
     pub alpha: f64,
     pub class: TopologyClass,
-    pub max_deg: usize,
+    pub max_deg: u32,
     pub root_share: f64,
     pub height: u64,
     pub tail: TailClass,
@@ -131,7 +131,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "E1: FKP trade-off regimes",
         "alpha < 1/sqrt(2) -> star; intermediate alpha -> heavy-tailed hub \
          trees; alpha = Omega(sqrt(n)) -> exponential-degree trees",
-        ctx,
+        &ctx,
     );
     report.param("n", p.n);
     report.param("alphas", Json::floats(p.alphas.iter().copied()));

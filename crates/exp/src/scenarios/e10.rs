@@ -68,7 +68,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "optimized (hub-bearing) topologies survive random failure but \
          shatter under degree-targeted attack; the flat random graph \
          degrades gracefully under both",
-        ctx,
+        &ctx,
     );
     report.param("n", p.n);
     report.param("fractions", Json::floats(p.fractions.iter().copied()));

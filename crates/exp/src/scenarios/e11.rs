@@ -69,7 +69,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "the same metro demand yields structurally different IP-visible \
          topologies depending on the link-layer technology; survivability \
          is bought with a fiber premium",
-        ctx,
+        &ctx,
     );
     report.param("terminals", p.terminals);
     report.param("seeds", p.seeds);

@@ -112,7 +112,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "designed topologies concentrate transit on provisioned trunks; \
          their degree-matched rewirings put the same load on links never \
          sized for it; redundancy converts stranded traffic into stretch",
-        ctx,
+        &ctx,
     );
     report.param("cities", p.cities);
     report.param("n_pops", p.n_pops);

@@ -73,7 +73,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "business relationships (transit/peer), not shortest paths, \
          determine AS routes; policy inflates path lengths and can deny \
          reachability that the raw graph would allow",
-        ctx,
+        &ctx,
     );
     report.param("cities", p.cities);
     report.param("n_isps", p.n_isps);

@@ -121,7 +121,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "path-union measurement misses exactly the redundant links that \
          never sit on a shortest path; the more meshy the truth, the \
          bigger the blind spot",
-        ctx,
+        &ctx,
     );
     report.param("cities", p.cities);
     report.param("isp_customers", p.isp_customers);

@@ -13,15 +13,17 @@
 //! turns the E12 routing-load claim quantitative: load share of the
 //! core vs load share of the hub neighborhood, per demand model.
 
-use crate::fixtures::{customer_gravity_demand, customer_masses, standard_geography};
+use crate::fixtures::{cached_snapshot, customer_masses, standard_geography};
 use crate::jsonout::Json;
 use crate::registry::{RunCtx, Scale};
 use crate::report::{ExpReport, Section, Table};
 use hot_baselines::{ba, glp};
 use hot_core::isp::generator::{generate, IspConfig};
 use hot_core::isp::LinkKind;
+use hot_geo::point::Point;
 use hot_graph::csr::CsrGraph;
 use hot_graph::graph::Graph;
+use hot_graph::io::Snapshot;
 use hot_metrics::utilization::{load_ccdf, load_share_on, load_summary, LoadSummary};
 use hot_sim::demand::{DemandConfig, DemandMatrix, DemandModel, OdDemand};
 use hot_sim::traffic::{link_loads_multi, RoutePolicy};
@@ -175,38 +177,94 @@ fn edge_endpoints<N, E>(g: &Graph<N, E>) -> Vec<(u32, u32)> {
     g.edges().map(|(_, a, b, _)| (a.0, b.0)).collect()
 }
 
+/// Builds the designed-ISP topology and packs everything downstream of
+/// the generator — CSR, customer masses, router positions, edge
+/// endpoints, and the core-link marks — into one [`Snapshot`]. Cold and
+/// warm cache paths both consume these columns, so a reload is
+/// bit-identical to a rebuild.
+fn build_isp_snapshot(p: &Params, seed: u64) -> Snapshot {
+    let (census, traffic) = standard_geography(p.cities, seed);
+    let config = IspConfig {
+        n_pops: p.n_pops,
+        total_customers: p.total_customers,
+        ..IspConfig::default()
+    };
+    let isp = generate(&census, &traffic, &config, &mut StdRng::seed_from_u64(seed));
+    let mut snap = Snapshot::new(CsrGraph::from_graph(&isp.graph));
+    let (mass, positions) = customer_masses(&isp);
+    snap.node_f64.push(("mass".into(), mass));
+    snap.node_f64
+        .push(("pos_x".into(), positions.iter().map(|q| q.x).collect()));
+    snap.node_f64
+        .push(("pos_y".into(), positions.iter().map(|q| q.y).collect()));
+    let endpoints = edge_endpoints(&isp.graph);
+    snap.edge_u32
+        .push(("ep_a".into(), endpoints.iter().map(|&(a, _)| a).collect()));
+    snap.edge_u32
+        .push(("ep_b".into(), endpoints.iter().map(|&(_, b)| b).collect()));
+    let core: Vec<u32> = isp
+        .graph
+        .edge_ids()
+        .map(|e| {
+            matches!(
+                isp.graph.edge_weight(e).kind,
+                LinkKind::Backbone | LinkKind::Metro
+            ) as u32
+        })
+        .collect();
+    snap.edge_u32.push(("core".into(), core));
+    snap
+}
+
 /// The full measurement sweep: ISP (designed), GLP and BA (degree-based
-/// controls), each under its demand models.
-pub fn traffic_rows(p: &Params, seed: u64, threads: usize) -> Vec<TrafficRow> {
+/// controls), each under its demand models. With `ctx.snapshot_dir`
+/// set, the designed ISP is replayed from its binary snapshot instead
+/// of regenerated; the output bytes are identical either way.
+pub fn traffic_rows(p: &Params, ctx: &RunCtx) -> Vec<TrafficRow> {
+    let (seed, threads) = (ctx.seed, ctx.threads);
     let mut rows = Vec::new();
     // Designed ISP: demand lives on customers (mass 1 on customer
     // routers, 0 on infrastructure), gravity over router geography.
     {
-        let (census, traffic) = standard_geography(p.cities, seed);
-        let config = IspConfig {
-            n_pops: p.n_pops,
-            total_customers: p.total_customers,
-            ..IspConfig::default()
+        let key = format!(
+            "e15-isp-s{}-c{}-np{}-tc{}",
+            seed, p.cities, p.n_pops, p.total_customers
+        );
+        let snap = cached_snapshot(ctx, &key, || build_isp_snapshot(p, seed));
+        let col_f64 = |name: &str| -> &Vec<f64> {
+            &snap
+                .node_f64
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("snapshot missing node column {:?}", name))
+                .1
         };
-        let isp = generate(&census, &traffic, &config, &mut StdRng::seed_from_u64(seed));
-        let csr = CsrGraph::from_graph(&isp.graph);
-        let endpoints = edge_endpoints(&isp.graph);
-        let core: Vec<bool> = isp
-            .graph
-            .edge_ids()
-            .map(|e| {
-                matches!(
-                    isp.graph.edge_weight(e).kind,
-                    LinkKind::Backbone | LinkKind::Metro
-                )
-            })
+        let col_u32 = |name: &str| -> &Vec<u32> {
+            &snap
+                .edge_u32
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("snapshot missing edge column {:?}", name))
+                .1
+        };
+        let mass = col_f64("mass").clone();
+        let positions: Vec<Point> = col_f64("pos_x")
+            .iter()
+            .zip(col_f64("pos_y"))
+            .map(|(&x, &y)| Point { x, y })
             .collect();
-        let gravity = customer_gravity_demand(&isp, p.total_traffic);
-        let (mass, _) = customer_masses(&isp);
+        let endpoints: Vec<(u32, u32)> = col_u32("ep_a")
+            .iter()
+            .zip(col_u32("ep_b"))
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        let core: Vec<bool> = col_u32("core").iter().map(|&c| c != 0).collect();
+        let gravity =
+            DemandMatrix::from_masses(mass.clone(), Some(positions), 1.0, 1.0, p.total_traffic);
         let uniform = DemandMatrix::from_masses(mass, None, 0.0, 1.0, p.total_traffic);
         rows.extend(case_rows(
             "isp(designed)",
-            &csr,
+            &snap.csr,
             &endpoints,
             Some(&core),
             &[("gravity", &gravity), ("uniform", &uniform)],
@@ -268,7 +326,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
          load on its provisioned core despite capped router degrees, while \
          degree-based generators concentrate the same demand classes on \
          the links around their few big hubs",
-        ctx,
+        &ctx,
     );
     report.param("glp_n", p.glp_n);
     report.param("ba_n", p.ba_n);
@@ -291,7 +349,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
             p.glp_n, p.ba_n, p.cities, p.n_pops, p.total_customers, p.ccdf_steps
         ));
     }
-    let rows = traffic_rows(p, ctx.seed, ctx.threads);
+    let rows = traffic_rows(p, &ctx);
     let total_flows: u64 = rows.iter().map(|r| r.routed_flows).sum();
     let mut table = Table::new(&[
         "topology",

@@ -83,7 +83,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
          the tree strands traffic outright; cutting the most-loaded \
          trunks of the full ISP re-routes the gravity demand at small \
          stretch and quantifiable peak growth",
-        ctx,
+        &ctx,
     );
     report.param("cities", p.cities);
     report.param("fail_pops", p.fail_pops);

@@ -165,7 +165,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
          while a degree-inferred hierarchy on BA-style graphs inflates a \
          double-digit share of pairs and even denies reachability the raw \
          graph would allow",
-        ctx,
+        &ctx,
     );
     report.param("cities", p.cities);
     report.param("n_isps", p.n_isps);

@@ -60,7 +60,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "E2: FKP degree CCDF series",
         "intermediate alpha -> power-law degree CCDF; large alpha -> \
          exponential degree CCDF",
-        ctx,
+        &ctx,
     );
     report.param("n", p.n);
     report.param(

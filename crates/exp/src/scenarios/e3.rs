@@ -49,7 +49,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "E3: MMP buy-at-bulk topology (paper's preliminary result)",
         "randomized incremental buy-at-bulk design with realistic cable \
          types yields TREES with EXPONENTIAL degree distributions",
-        ctx,
+        &ctx,
     );
     report.param("n", p.n);
     report.param("seeds", p.seeds);
@@ -62,7 +62,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
     let catalog = CableCatalog::realistic_2003();
     let cost = LinkCost::cables_only(catalog);
     // Pool degrees across seeds for a stable distribution estimate.
-    let mut all_degrees: Vec<usize> = Vec::new();
+    let mut all_degrees: Vec<u32> = Vec::new();
     let mut trees_ok = true;
     for s in 0..p.seeds {
         let mut rng = StdRng::seed_from_u64(ctx.seed + s);

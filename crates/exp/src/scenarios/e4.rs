@@ -83,7 +83,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "E4: buy-at-bulk cost comparison",
         "MMP is a constant factor from optimal; aggregation (MMP/local \
          search) beats both the direct star and pure-MST designs",
-        ctx,
+        &ctx,
     );
     report.param(
         "exact_ns",

@@ -180,7 +180,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "E5: PLR event-size distributions",
         "HOT-optimal firebreak placement -> power-law loss sizes and \
          minimal expected loss; uniform/random placement -> light tails",
-        ctx,
+        &ctx,
     );
     report.param("n_cells", p.n_cells);
     report.param("resolution", p.resolution);

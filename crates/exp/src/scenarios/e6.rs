@@ -219,7 +219,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "generators matched on one metric (size / degree law) differ \
          visibly on clustering, expansion, resilience, distortion, \
          hierarchy, and spectrum",
-        ctx,
+        &ctx,
     );
     report.param("n", p.n);
     report.param("cities", p.cities);

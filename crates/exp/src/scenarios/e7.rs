@@ -61,7 +61,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "hierarchy (WAN/MAN/LAN) emerges from per-level optimization; \
          degree caps bound router degrees; profit-based design serves \
          fewer customers",
-        ctx,
+        &ctx,
     );
     report.param("cities", p.cities);
     report.param("n_pops", p.n_pops);

@@ -66,7 +66,7 @@ impl Params {
     }
 }
 
-fn ccdf_table(degrees: &[usize], max_rows: usize) -> Table {
+fn ccdf_table(degrees: &[u32], max_rows: usize) -> Table {
     let mut t = Table::new(&["k", "P[D>=k]"]);
     for (k, prob) in ccdf_of(degrees).into_iter().take(max_rows) {
         t.push(vec![k.into(), Json::Float(prob)]);
@@ -81,7 +81,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "E8: AS graph vs router graph from one generated economy",
         "AS degrees: heavy-tailed (unconstrained business relationships); \
          router degrees: bounded/light-tailed (line-card technology)",
-        ctx,
+        &ctx,
     );
     report.param("cities", p.cities);
     report.param("n_isps", p.n_isps);

@@ -77,7 +77,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "E9: ablations",
         "(a) economies of scale drive trunking; (b) redundancy breaks the \
          tree; (c) FKP regimes survive centrality-measure changes",
-        ctx,
+        &ctx,
     );
     report.param("bab_n", p.bab_n);
     report.param("bab_seeds", p.bab_seeds);
@@ -99,7 +99,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
     for (name, cost) in [("scale(5-tier)", &realistic), ("flat(1-tier)", &flat)] {
         let seeds = p.bab_seeds as f64;
         let mut hops = 0.0;
-        let mut maxdeg = 0usize;
+        let mut maxdeg = 0u32;
         let mut cv = 0.0;
         let mut big_share = 0.0;
         for s in 0..p.bab_seeds {

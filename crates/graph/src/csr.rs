@@ -21,11 +21,82 @@
 //! its incident edges, so slot capacity `degree(v)` suffices and the
 //! scratch footprint is a fixed O(n + m) for the whole run — no
 //! per-source reallocation, no quadratic retained capacity.
+//!
+//! All three arrays are u32-indexed structure-of-arrays: `offsets` holds
+//! u32 adjacency positions (4 bytes per node instead of the 8 a
+//! `Vec<usize>` would spend), which is what keeps a 1M-router graph's
+//! CSR view at ~28 MB and the BFS working set inside cache. The format
+//! therefore caps a graph at [`MAX_CSR_ENTRIES`] adjacency entries
+//! (~2.1 billion edges) — far beyond the scales this workspace targets.
 
 use crate::graph::{EdgeId, Graph, NodeId};
 
+/// Maximum adjacency entries (2 × edges) a [`CsrGraph`] can hold with
+/// u32 offsets.
+pub const MAX_CSR_ENTRIES: usize = u32::MAX as usize;
+
 /// Sentinel for "unreachable" in CSR BFS distance arrays.
 pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Direction-optimizing BFS: switch top-down → bottom-up when the
+/// frontier's adjacency entries exceed `unexplored / ALPHA` (Beamer's
+/// heuristic with the conventional constant).
+const BFS_ALPHA: u64 = 14;
+
+/// Direction-optimizing BFS: switch bottom-up → top-down when the
+/// frontier shrinks below `n / BETA`.
+const BFS_BETA: u64 = 24;
+
+/// Reusable scratch for the distance-only direction-optimizing BFS
+/// ([`CsrGraph::bfs_distances_into`]): a distance array, the reached
+/// list (doubling as the level-partitioned frontier queue), and two
+/// bitsets (visited + previous-level frontier). Sized once per
+/// (thread, graph); every per-source reset is O(reached), not O(n).
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    /// All reached nodes, grouped by level (order within a bottom-up
+    /// level is index order, not discovery order).
+    reached: Vec<u32>,
+    /// Visited bitset; bits at positions >= n in the last word are
+    /// permanently set so the bottom-up scan never probes phantom nodes.
+    visited: Vec<u64>,
+    /// Previous-level bitset, populated and cleared per bottom-up level.
+    frontier: Vec<u64>,
+}
+
+impl BfsScratch {
+    /// Scratch sized for an `n`-node graph, all nodes unreached.
+    pub fn sized(n: usize) -> BfsScratch {
+        let words = n.div_ceil(64).max(1);
+        let mut visited = vec![0u64; words];
+        if n % 64 != 0 {
+            // Phantom tail bits count as visited forever.
+            visited[words - 1] = !0u64 << (n % 64);
+        } else if n == 0 {
+            visited[0] = !0u64;
+        }
+        BfsScratch {
+            dist: vec![UNREACHABLE; n],
+            reached: Vec::with_capacity(n),
+            visited,
+            frontier: vec![0u64; words],
+        }
+    }
+
+    /// Hop distances from the last source ([`UNREACHABLE`] when
+    /// unreachable).
+    #[inline]
+    pub fn dist(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// The nodes reached by the last source, grouped by level (the
+    /// source first). Exactly the indices whose `dist` is set.
+    #[inline]
+    pub fn reached(&self) -> &[u32] {
+        &self.reached
+    }
+}
 
 /// Compressed-sparse-row adjacency view of a [`Graph`].
 ///
@@ -33,9 +104,9 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// order [`Graph::neighbors`] yields them (parallel edges repeat the
 /// neighbor, once per edge); `edge_ids` is the parallel array of incident
 /// edge ids.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
-    offsets: Vec<usize>,
+    offsets: Vec<u32>,
     targets: Vec<NodeId>,
     edge_ids: Vec<EdgeId>,
 }
@@ -46,6 +117,11 @@ impl CsrGraph {
     pub fn from_graph<N, E>(g: &Graph<N, E>) -> Self {
         let n = g.node_count();
         let entries = 2 * g.edge_count();
+        assert!(
+            entries <= MAX_CSR_ENTRIES,
+            "graph exceeds u32 CSR capacity ({} adjacency entries)",
+            entries
+        );
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets = Vec::with_capacity(entries);
         let mut edge_ids = Vec::with_capacity(entries);
@@ -55,13 +131,76 @@ impl CsrGraph {
                 targets.push(u);
                 edge_ids.push(e);
             }
-            offsets.push(targets.len());
+            offsets.push(targets.len() as u32);
         }
         CsrGraph {
             offsets,
             targets,
             edge_ids,
         }
+    }
+
+    /// Reassembles a CSR view from its raw arrays (the snapshot-load
+    /// path). Validates the structural invariants — monotone offsets
+    /// bracketing the adjacency arrays, equal-length parallel arrays, an
+    /// even entry count (undirected edges appear once per endpoint), and
+    /// in-range targets — so a corrupt or truncated snapshot fails loudly
+    /// instead of producing out-of-bounds kernels.
+    pub fn from_raw_parts(
+        offsets: Vec<u32>,
+        targets: Vec<NodeId>,
+        edge_ids: Vec<EdgeId>,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets must contain at least the leading 0".into());
+        }
+        if offsets[0] != 0 {
+            return Err(format!("offsets[0] must be 0, got {}", offsets[0]));
+        }
+        if let Some(w) = offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(format!("offsets not monotone at index {}", w));
+        }
+        let entries = *offsets.last().expect("non-empty") as usize;
+        if entries != targets.len() || entries != edge_ids.len() {
+            return Err(format!(
+                "offsets end at {} but targets/edge_ids have {}/{} entries",
+                entries,
+                targets.len(),
+                edge_ids.len()
+            ));
+        }
+        if entries % 2 != 0 {
+            return Err(format!("odd adjacency entry count {}", entries));
+        }
+        let n = offsets.len() - 1;
+        if let Some(t) = targets.iter().find(|t| t.index() >= n) {
+            return Err(format!("target {} out of range (n = {})", t.0, n));
+        }
+        Ok(CsrGraph {
+            offsets,
+            targets,
+            edge_ids,
+        })
+    }
+
+    /// The raw offset array: node `v`'s adjacency entries live at
+    /// `offsets[v] as usize .. offsets[v + 1] as usize`. Length is
+    /// `node_count() + 1`.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw neighbor array, parallel to [`Self::edge_ids_raw`].
+    #[inline]
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// The raw incident-edge-id array, parallel to [`Self::targets`].
+    #[inline]
+    pub fn edge_ids_raw(&self) -> &[EdgeId] {
+        &self.edge_ids
     }
 
     /// Number of nodes.
@@ -79,23 +218,24 @@ impl CsrGraph {
     /// Degree of `v` (parallel edges all count).
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.offsets[v.index() + 1] - self.offsets[v.index()]
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
     }
 
     /// `v`'s neighbors as a contiguous slice, in adjacency order.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+        &self.targets[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
     /// Ids of the edges incident to `v`, parallel to [`Self::neighbors`].
     #[inline]
     pub fn incident_edges(&self, v: NodeId) -> &[EdgeId] {
-        &self.edge_ids[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+        &self.edge_ids[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
-    /// The degree of every node, indexed by node id.
-    pub fn degree_sequence(&self) -> Vec<usize> {
+    /// The degree of every node, indexed by node id. u32 entries: the
+    /// per-node degree is bounded by the u32 adjacency size.
+    pub fn degree_sequence(&self) -> Vec<u32> {
         (0..self.node_count())
             .map(|v| self.offsets[v + 1] - self.offsets[v])
             .collect()
@@ -121,6 +261,102 @@ impl CsrGraph {
             }
         }
         dist
+    }
+
+    /// Hop distances from `start` via direction-optimizing BFS, reusing
+    /// `scratch` across sources with zero per-source allocation.
+    ///
+    /// Classic top-down BFS touches every adjacency entry of the
+    /// frontier; on low-diameter graphs the middle levels hold most of
+    /// the graph and almost every probe lands on an already-visited
+    /// node. Following Beamer's direction-optimizing scheme, those fat
+    /// levels instead scan the *unvisited* nodes bottom-up, testing each
+    /// against a bitset of the previous level and stopping at the first
+    /// hit. The mode switch (top-down → bottom-up when the frontier's
+    /// edge count passes `unexplored / ALPHA`; back when the frontier
+    /// shrinks below `n / BETA`) depends only on the graph and the
+    /// source, so the distances — which are unique regardless of
+    /// traversal order — stay bit-identical to [`Self::bfs_distances`]
+    /// at any thread count.
+    ///
+    /// Distances land in `scratch.dist()`; reached nodes (unordered
+    /// beyond level grouping) in `scratch.reached()`. Note bottom-up
+    /// levels discover nodes in index order, not queue order, so unlike
+    /// [`CsrBfsTree`] this scratch exposes no parents and no canonical
+    /// visit order — it is the distance-only kernel.
+    pub fn bfs_distances_into(&self, start: NodeId, scratch: &mut BfsScratch) {
+        let n = self.node_count();
+        assert_eq!(scratch.dist.len(), n, "scratch sized for a different graph");
+        // Reset only what the previous source touched.
+        for &v in &scratch.reached {
+            scratch.dist[v as usize] = UNREACHABLE;
+            scratch.visited[(v >> 6) as usize] &= !(1u64 << (v & 63));
+        }
+        scratch.reached.clear();
+        scratch.dist[start.index()] = 0;
+        scratch.visited[start.index() >> 6] |= 1u64 << (start.index() & 63);
+        scratch.reached.push(start.0);
+        let mut unexplored = self.targets.len() as u64 - self.degree(start) as u64;
+        let mut bottom_up = false;
+        let mut lo = 0usize;
+        let mut level = 0u32;
+        while lo < scratch.reached.len() {
+            let hi = scratch.reached.len();
+            if !bottom_up {
+                let frontier_edges: u64 = scratch.reached[lo..hi]
+                    .iter()
+                    .map(|&v| self.degree(NodeId(v)) as u64)
+                    .sum();
+                if frontier_edges > unexplored / BFS_ALPHA {
+                    bottom_up = true;
+                }
+            } else if ((hi - lo) as u64) < (n as u64 / BFS_BETA).max(1) {
+                bottom_up = false;
+            }
+            level += 1;
+            if bottom_up {
+                for &v in &scratch.reached[lo..hi] {
+                    scratch.frontier[(v >> 6) as usize] |= 1u64 << (v & 63);
+                }
+                for w in 0..scratch.visited.len() {
+                    let mut unvisited = !scratch.visited[w];
+                    while unvisited != 0 {
+                        let v = (w << 6) + unvisited.trailing_zeros() as usize;
+                        unvisited &= unvisited - 1;
+                        let hit = self.neighbors(NodeId(v as u32)).iter().any(|u| {
+                            scratch.frontier[u.index() >> 6] & (1u64 << (u.index() & 63)) != 0
+                        });
+                        if hit {
+                            scratch.dist[v] = level;
+                            scratch.visited[w] |= 1u64 << (v & 63);
+                            scratch.reached.push(v as u32);
+                        }
+                    }
+                }
+                for &v in &scratch.reached[lo..hi] {
+                    scratch.frontier[(v >> 6) as usize] = 0;
+                }
+            } else {
+                let mut i = lo;
+                while i < hi {
+                    let v = scratch.reached[i] as usize;
+                    i += 1;
+                    for &u in self.neighbors(NodeId(v as u32)) {
+                        let u = u.index();
+                        if scratch.dist[u] == UNREACHABLE {
+                            scratch.dist[u] = level;
+                            scratch.visited[u >> 6] |= 1u64 << (u & 63);
+                            scratch.reached.push(u as u32);
+                        }
+                    }
+                }
+            }
+            unexplored -= scratch.reached[hi..]
+                .iter()
+                .map(|&v| self.degree(NodeId(v)) as u64)
+                .sum::<u64>();
+            lo = hi;
+        }
     }
 
     /// BFS shortest-path tree from `start`: hop distances plus, for every
@@ -158,8 +394,8 @@ impl CsrGraph {
             let v = tree.order[head];
             head += 1;
             let d = tree.dist[v.index()] + 1;
-            let lo = self.offsets[v.index()];
-            let hi = self.offsets[v.index() + 1];
+            let lo = self.offsets[v.index()] as usize;
+            let hi = self.offsets[v.index() + 1] as usize;
             for i in lo..hi {
                 let u = self.targets[i];
                 if tree.dist[u.index()] == UNREACHABLE {
@@ -382,7 +618,7 @@ impl BrandesScratch {
                 }
                 if self.dist[u] == next {
                     self.sigma[u] += self.sigma[v];
-                    self.preds[csr.offsets[u] + self.pred_len[u] as usize] = v as u32;
+                    self.preds[csr.offsets[u] as usize + self.pred_len[u] as usize] = v as u32;
                     self.pred_len[u] += 1;
                 }
             }
@@ -391,7 +627,7 @@ impl BrandesScratch {
             let w = self.order[i] as usize;
             let coeff = (1.0 + self.delta[w]) / self.sigma[w];
             for j in 0..self.pred_len[w] as usize {
-                let v = self.preds[csr.offsets[w] + j] as usize;
+                let v = self.preds[csr.offsets[w] as usize + j] as usize;
                 self.delta[v] += self.sigma[v] * coeff;
             }
             if w != s.index() {
@@ -471,6 +707,72 @@ mod tests {
         for v in 0..g.node_count() {
             assert_eq!(adj_dist[v].unwrap(), csr_dist[v]);
         }
+    }
+
+    /// The star graph drives the direction-optimizing kernel straight
+    /// into bottom-up mode (the hub's frontier carries every edge), so
+    /// this checks the mode switch, the bitset scan, and the phantom
+    /// tail bits (10_001 is not a multiple of 64) in one go.
+    #[test]
+    fn dirop_bfs_star_matches_classic() {
+        let n = 10_001usize;
+        let g: Graph<(), ()> = Graph::from_edges(n, (1..n).map(|i| (0, i, ())).collect::<Vec<_>>());
+        let csr = CsrGraph::from_graph(&g);
+        let mut scratch = BfsScratch::sized(n);
+        for s in [0u32, 1, 5000] {
+            csr.bfs_distances_into(NodeId(s), &mut scratch);
+            assert_eq!(scratch.dist(), &csr.bfs_distances(NodeId(s))[..], "{}", s);
+            assert_eq!(scratch.reached().len(), n, "{}", s);
+        }
+    }
+
+    #[test]
+    fn dirop_bfs_disconnected_reset() {
+        let g: Graph<(), ()> = Graph::from_edges(6, vec![(0, 1, ()), (1, 2, ()), (3, 4, ())]);
+        let csr = CsrGraph::from_graph(&g);
+        let mut scratch = BfsScratch::sized(6);
+        // Big component, then small, then isolated: stale distances and
+        // visited bits from the earlier (larger) run must not leak.
+        for s in [0u32, 3, 5, 0] {
+            csr.bfs_distances_into(NodeId(s), &mut scratch);
+            assert_eq!(scratch.dist(), &csr.bfs_distances(NodeId(s))[..], "{}", s);
+            let finite = scratch.dist().iter().filter(|&&d| d != UNREACHABLE).count();
+            assert_eq!(scratch.reached().len(), finite, "{}", s);
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let rebuilt = CsrGraph::from_raw_parts(
+            csr.offsets().to_vec(),
+            csr.targets().to_vec(),
+            csr.edge_ids_raw().to_vec(),
+        )
+        .expect("valid arrays round-trip");
+        assert_eq!(rebuilt, csr);
+        assert!(CsrGraph::from_raw_parts(vec![], vec![], vec![]).is_err());
+        assert!(
+            CsrGraph::from_raw_parts(vec![1, 2], vec![NodeId(0); 2], vec![EdgeId(0); 2]).is_err()
+        );
+        assert!(
+            CsrGraph::from_raw_parts(vec![0, 2, 1], vec![NodeId(0); 2], vec![EdgeId(0); 2])
+                .is_err()
+        );
+        assert!(
+            CsrGraph::from_raw_parts(vec![0, 2], vec![NodeId(0)], vec![EdgeId(0)]).is_err(),
+            "length mismatch"
+        );
+        assert!(
+            CsrGraph::from_raw_parts(vec![0, 1], vec![NodeId(0)], vec![EdgeId(0)]).is_err(),
+            "odd entry count"
+        );
+        assert!(
+            CsrGraph::from_raw_parts(vec![0, 2], vec![NodeId(7), NodeId(0)], vec![EdgeId(0); 2])
+                .is_err(),
+            "target out of range"
+        );
     }
 
     #[test]
@@ -657,6 +959,32 @@ mod property_tests {
                 }
             }
             prop_assert_eq!(csr_mult, multiplicity(&g));
+        }
+
+        /// Direction-optimizing BFS distances match classic BFS
+        /// bit-for-bit across scratch reuse. Small graphs make the
+        /// alpha threshold (`unexplored / 14`, integer division) hit 0
+        /// fast, so bottom-up levels are exercised constantly here.
+        #[test]
+        fn dirop_bfs_matches_classic(
+            n in 1usize..24,
+            pairs in proptest::collection::vec((0usize..24, 0usize..24), 0..60),
+            sources in proptest::collection::vec(0usize..24, 1..6),
+        ) {
+            let g = multigraph(n, &pairs);
+            let csr = CsrGraph::from_graph(&g);
+            let mut scratch = BfsScratch::sized(n);
+            for &s in &sources {
+                let s = NodeId((s % n) as u32);
+                csr.bfs_distances_into(s, &mut scratch);
+                prop_assert_eq!(scratch.dist(), &csr.bfs_distances(s)[..]);
+                let finite = scratch
+                    .dist()
+                    .iter()
+                    .filter(|&&d| d != UNREACHABLE)
+                    .count();
+                prop_assert_eq!(scratch.reached().len(), finite);
+            }
         }
 
         /// Round-trip through `induced_subgraph`: a keep-everything mask

@@ -9,15 +9,16 @@ use crate::graph::Graph;
 
 /// Histogram of degrees: `(degree k, number of nodes with degree k)`,
 /// ascending in `k`, zero-count degrees omitted.
-pub fn degree_histogram<N, E>(g: &Graph<N, E>) -> Vec<(usize, usize)> {
+pub fn degree_histogram<N, E>(g: &Graph<N, E>) -> Vec<(u32, usize)> {
     histogram_of(&g.degree_sequence())
 }
 
-/// Histogram of an arbitrary integer sample.
-pub fn histogram_of(sample: &[usize]) -> Vec<(usize, usize)> {
+/// Histogram of an arbitrary integer sample (u32 values — the sample
+/// type degree sequences and component labels use).
+pub fn histogram_of(sample: &[u32]) -> Vec<(u32, usize)> {
     let mut sorted = sample.to_vec();
     sorted.sort_unstable();
-    let mut out: Vec<(usize, usize)> = Vec::new();
+    let mut out: Vec<(u32, usize)> = Vec::new();
     for v in sorted {
         match out.last_mut() {
             Some((k, c)) if *k == v => *c += 1,
@@ -29,12 +30,12 @@ pub fn histogram_of(sample: &[usize]) -> Vec<(usize, usize)> {
 
 /// Empirical CCDF of the degree distribution:
 /// `(k, P[degree >= k])` for each distinct degree `k`, ascending.
-pub fn degree_ccdf<N, E>(g: &Graph<N, E>) -> Vec<(usize, f64)> {
+pub fn degree_ccdf<N, E>(g: &Graph<N, E>) -> Vec<(u32, f64)> {
     ccdf_of(&g.degree_sequence())
 }
 
 /// Empirical CCDF of an arbitrary integer sample.
-pub fn ccdf_of(sample: &[usize]) -> Vec<(usize, f64)> {
+pub fn ccdf_of(sample: &[u32]) -> Vec<(u32, f64)> {
     let n = sample.len();
     if n == 0 {
         return Vec::new();
@@ -50,7 +51,7 @@ pub fn ccdf_of(sample: &[usize]) -> Vec<(usize, f64)> {
 }
 
 /// Maximum degree (0 for the empty graph).
-pub fn max_degree<N, E>(g: &Graph<N, E>) -> usize {
+pub fn max_degree<N, E>(g: &Graph<N, E>) -> u32 {
     g.degree_sequence().into_iter().max().unwrap_or(0)
 }
 
@@ -66,7 +67,7 @@ pub fn mean_degree<N, E>(g: &Graph<N, E>) -> f64 {
 /// Rank–degree pairs: degrees sorted descending, paired with 1-based rank.
 /// This is the view in which Faloutsos et al. (SIGCOMM'99) report their
 /// rank power law.
-pub fn rank_degree<N, E>(g: &Graph<N, E>) -> Vec<(usize, usize)> {
+pub fn rank_degree<N, E>(g: &Graph<N, E>) -> Vec<(usize, u32)> {
     let mut degs = g.degree_sequence();
     degs.sort_unstable_by(|a, b| b.cmp(a));
     degs.into_iter()
@@ -131,7 +132,7 @@ mod tests {
     proptest! {
         /// Histogram mass equals sample size.
         #[test]
-        fn histogram_mass_conserved(sample in proptest::collection::vec(0usize..30, 0..200)) {
+        fn histogram_mass_conserved(sample in proptest::collection::vec(0u32..30, 0..200)) {
             let hist = histogram_of(&sample);
             let total: usize = hist.iter().map(|(_, c)| c).sum();
             prop_assert_eq!(total, sample.len());
@@ -143,7 +144,7 @@ mod tests {
 
         /// CCDF starts at 1, is non-increasing, and stays in (0, 1].
         #[test]
-        fn ccdf_monotone(sample in proptest::collection::vec(0usize..30, 1..200)) {
+        fn ccdf_monotone(sample in proptest::collection::vec(0u32..30, 1..200)) {
             let ccdf = ccdf_of(&sample);
             prop_assert!((ccdf[0].1 - 1.0).abs() < 1e-12);
             for w in ccdf.windows(2) {

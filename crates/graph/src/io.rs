@@ -1,8 +1,13 @@
-//! Graph serialization: Graphviz DOT export and a simple whitespace edge
-//! list format (`a b weight` per line) for interchange with plotting tools.
+//! Graph serialization: Graphviz DOT export, a simple whitespace edge
+//! list format (`a b weight` per line) for interchange with plotting
+//! tools, and the versioned binary snapshot format ([`Snapshot`]) that
+//! makes million-router topologies cheap to reload.
 
+use crate::csr::CsrGraph;
 use crate::graph::{EdgeId, Graph, NodeId};
 use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::path::Path;
 
 /// Renders the graph in Graphviz DOT format.
 ///
@@ -106,6 +111,266 @@ pub fn from_edge_list(text: &str) -> Result<Graph<(), f64>, ParseError> {
     Ok(Graph::from_edges(n, edges))
 }
 
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HOTSNAP\0";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors from [`Snapshot::save`] / [`Snapshot::load`].
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The file's version is not one this build can read.
+    BadVersion(u32),
+    /// Structural damage: truncated section, checksum mismatch,
+    /// inconsistent lengths, or an invalid CSR.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {}", e),
+            SnapshotError::BadMagic => write!(f, "not a HOTSNAP snapshot"),
+            SnapshotError::BadVersion(v) => {
+                write!(
+                    f,
+                    "snapshot version {} unsupported (max {})",
+                    v, SNAPSHOT_VERSION
+                )
+            }
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {}", why),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over a byte slice — the snapshot trailer checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A CSR topology plus named metadata columns, serializable as one
+/// self-validating binary file.
+///
+/// Layout (all integers little-endian):
+///
+/// ```text
+/// magic[8] = "HOTSNAP\0"
+/// version: u32          n: u64            entries: u64
+/// offsets: (n+1) × u32  targets: entries × u32  edge_ids: entries × u32
+/// node u32 columns: count u32, then per column name_len u32 + name + n × u32
+/// node f64 columns: same shape, n × f64 (bit patterns)
+/// edge u32 columns: same shape, (entries/2) × u32
+/// checksum: u64 = FNV-1a over every preceding byte
+/// ```
+///
+/// Node columns hold one value per node; edge columns one value per
+/// *edge* (half the adjacency entry count, indexed by `EdgeId`). f64
+/// columns round-trip bit patterns, so reloading is byte-reproducible.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// The topology.
+    pub csr: CsrGraph,
+    /// Named per-node u32 columns (e.g. roles, levels).
+    pub node_u32: Vec<(String, Vec<u32>)>,
+    /// Named per-node f64 columns (e.g. positions, masses).
+    pub node_f64: Vec<(String, Vec<f64>)>,
+    /// Named per-edge u32 columns (e.g. link classes).
+    pub edge_u32: Vec<(String, Vec<u32>)>,
+}
+
+impl Snapshot {
+    /// Wraps a bare topology with no metadata columns.
+    pub fn new(csr: CsrGraph) -> Self {
+        Snapshot {
+            csr,
+            node_u32: Vec::new(),
+            node_f64: Vec::new(),
+            edge_u32: Vec::new(),
+        }
+    }
+
+    /// Serializes to bytes (including the checksum trailer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.csr.node_count();
+        let entries = self.csr.targets().len();
+        for (name, col) in &self.node_u32 {
+            assert_eq!(col.len(), n, "node u32 column '{}' length", name);
+        }
+        for (name, col) in &self.node_f64 {
+            assert_eq!(col.len(), n, "node f64 column '{}' length", name);
+        }
+        for (name, col) in &self.edge_u32 {
+            assert_eq!(col.len(), entries / 2, "edge u32 column '{}' length", name);
+        }
+        let mut out = Vec::with_capacity(64 + 4 * (n + 1) + 8 * entries);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        out.extend_from_slice(&(entries as u64).to_le_bytes());
+        for &o in self.csr.offsets() {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        for t in self.csr.targets() {
+            out.extend_from_slice(&t.0.to_le_bytes());
+        }
+        for e in self.csr.edge_ids_raw() {
+            out.extend_from_slice(&e.0.to_le_bytes());
+        }
+        let write_cols = |out: &mut Vec<u8>, cols: &[(String, Vec<u32>)]| {
+            out.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+            for (name, col) in cols {
+                out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+                for &v in col {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        };
+        write_cols(&mut out, &self.node_u32);
+        out.extend_from_slice(&(self.node_f64.len() as u32).to_le_bytes());
+        for (name, col) in &self.node_f64 {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            for &v in col {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        write_cols(&mut out, &self.edge_u32);
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parses bytes produced by [`Snapshot::to_bytes`], verifying the
+    /// checksum and every structural invariant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let corrupt = |why: &str| SnapshotError::Corrupt(why.to_string());
+        if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes.len() < 8 + 4 + 8 {
+            return Err(corrupt("truncated header"));
+        }
+        let payload_len = bytes.len() - 8;
+        let stored = u64::from_le_bytes(bytes[payload_len..].try_into().unwrap());
+        if fnv1a(&bytes[..payload_len]) != stored {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut pos = 8usize;
+        let take = |pos: &mut usize, k: usize| -> Result<&[u8], SnapshotError> {
+            if *pos + k > payload_len {
+                return Err(SnapshotError::Corrupt("truncated section".to_string()));
+            }
+            let s = &bytes[*pos..*pos + k];
+            *pos += k;
+            Ok(s)
+        };
+        let read_u32 = |pos: &mut usize| -> Result<u32, SnapshotError> {
+            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
+        };
+        let read_u64 = |pos: &mut usize| -> Result<u64, SnapshotError> {
+            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+        };
+        let version = read_u32(&mut pos)?;
+        if version == 0 || version > SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let n = read_u64(&mut pos)? as usize;
+        let entries = read_u64(&mut pos)? as usize;
+        let read_u32_vec = |pos: &mut usize, k: usize| -> Result<Vec<u32>, SnapshotError> {
+            let raw = take(pos, 4 * k)?;
+            Ok(raw
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect())
+        };
+        let offsets = read_u32_vec(&mut pos, n + 1)?;
+        let targets: Vec<NodeId> = read_u32_vec(&mut pos, entries)?
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        let edge_ids: Vec<EdgeId> = read_u32_vec(&mut pos, entries)?
+            .into_iter()
+            .map(EdgeId)
+            .collect();
+        let csr =
+            CsrGraph::from_raw_parts(offsets, targets, edge_ids).map_err(SnapshotError::Corrupt)?;
+        let read_name = |pos: &mut usize| -> Result<String, SnapshotError> {
+            let len = read_u32(pos)? as usize;
+            let raw = take(pos, len)?;
+            String::from_utf8(raw.to_vec())
+                .map_err(|_| SnapshotError::Corrupt("non-UTF-8 column name".to_string()))
+        };
+        let mut node_u32 = Vec::new();
+        for _ in 0..read_u32(&mut pos)? {
+            let name = read_name(&mut pos)?;
+            node_u32.push((name, read_u32_vec(&mut pos, n)?));
+        }
+        let mut node_f64 = Vec::new();
+        for _ in 0..read_u32(&mut pos)? {
+            let name = read_name(&mut pos)?;
+            let raw = take(&mut pos, 8 * n)?;
+            let col: Vec<f64> = raw
+                .chunks_exact(8)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+                .collect();
+            node_f64.push((name, col));
+        }
+        let mut edge_u32 = Vec::new();
+        for _ in 0..read_u32(&mut pos)? {
+            let name = read_name(&mut pos)?;
+            edge_u32.push((name, read_u32_vec(&mut pos, entries / 2)?));
+        }
+        if pos != payload_len {
+            return Err(corrupt("trailing bytes after last section"));
+        }
+        Ok(Snapshot {
+            csr,
+            node_u32,
+            node_f64,
+            edge_u32,
+        })
+    }
+
+    /// Writes the snapshot to `path` (atomically: temp file + rename).
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and validates a snapshot from `path`.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +449,99 @@ mod tests {
         let g = from_edge_list("").unwrap();
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let g: Graph<(), ()> = Graph::from_edges(
+            5,
+            vec![(0, 1, ()), (1, 2, ()), (2, 3, ()), (3, 4, ()), (4, 0, ())],
+        );
+        let mut s = Snapshot::new(CsrGraph::from_graph(&g));
+        s.node_u32.push(("role".into(), vec![0, 1, 1, 2, 2]));
+        s.node_f64
+            .push(("pos_x".into(), vec![0.0, 1.5, -2.25, f64::MAX, 1e-300]));
+        s.edge_u32.push(("class".into(), vec![9, 8, 7, 6, 5]));
+        s
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrip() {
+        let s = sample_snapshot();
+        let bytes = s.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        // Re-serialization is byte-stable.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let dir = std::env::temp_dir().join("hotsnap-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.snap");
+        let s = sample_snapshot();
+        s.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_empty_graph_roundtrip() {
+        let g: Graph<(), ()> = Graph::new();
+        let s = Snapshot::new(CsrGraph::from_graph(&g));
+        let back = Snapshot::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back.csr.node_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_rejects_damage() {
+        let s = sample_snapshot();
+        let good = s.to_bytes();
+
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::BadMagic)
+        ));
+
+        // Future version (checksum recomputed so only the version trips).
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let len = bad.len() - 8;
+        let sum = super::fnv1a(&bad[..len]);
+        bad[len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::BadVersion(99))
+        ));
+
+        // Single flipped payload byte -> checksum mismatch.
+        let mut bad = good.clone();
+        bad[40] ^= 0x01;
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // Truncation.
+        assert!(matches!(
+            Snapshot::from_bytes(&good[..good.len() - 9]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Snapshot::from_bytes(&good[..4]),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "column 'role' length")]
+    fn snapshot_checks_column_lengths() {
+        let mut s = sample_snapshot();
+        s.node_u32[0].1.pop();
+        s.to_bytes();
     }
 }

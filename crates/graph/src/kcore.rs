@@ -17,11 +17,11 @@ pub fn coreness<N, E>(g: &Graph<N, E>) -> Vec<usize> {
         return Vec::new();
     }
     let mut degree = g.degree_sequence();
-    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
     // Bucket sort nodes by current degree.
     let mut bins = vec![0usize; max_deg + 2];
     for &d in &degree {
-        bins[d] += 1;
+        bins[d as usize] += 1;
     }
     let mut start = 0;
     for b in bins.iter_mut() {
@@ -34,21 +34,21 @@ pub fn coreness<N, E>(g: &Graph<N, E>) -> Vec<usize> {
     {
         let mut next = bins.clone();
         for v in 0..n {
-            pos[v] = next[degree[v]];
+            pos[v] = next[degree[v] as usize];
             vert[pos[v]] = v;
-            next[degree[v]] += 1;
+            next[degree[v] as usize] += 1;
         }
     }
     let mut core = vec![0usize; n];
     for i in 0..n {
         let v = vert[i];
-        core[v] = degree[v];
+        core[v] = degree[v] as usize;
         for (u, _) in g.neighbors(crate::graph::NodeId(v as u32)) {
             let u = u.index();
             if degree[u] > degree[v] {
                 // Move u one bucket down: swap it with the first node of
                 // its current bucket, then shrink the bucket.
-                let du = degree[u];
+                let du = degree[u] as usize;
                 let pu = pos[u];
                 let pw = bins[du];
                 let w = vert[pw];

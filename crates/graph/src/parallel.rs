@@ -20,7 +20,7 @@
 //!
 //! Everything uses `std::thread::scope`; there are no dependencies.
 
-use crate::csr::{BrandesScratch, CsrBfsTree, CsrGraph, UNREACHABLE};
+use crate::csr::{BfsScratch, BrandesScratch, CsrBfsTree, CsrGraph};
 use crate::graph::NodeId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -222,6 +222,50 @@ pub fn par_betweenness(csr: &CsrGraph, threads: usize) -> Vec<f64> {
     centrality
 }
 
+/// Betweenness centrality *estimated* from a pivot subset (Brandes–Pich
+/// source sampling): the Brandes dependency sweep runs only from
+/// `pivots`, and each node's summed dependency is scaled by
+/// `n / (2k)` so the estimate is unbiased when pivots are drawn
+/// uniformly. With `pivots` = all nodes in ascending order this is
+/// *bit-identical* to [`par_betweenness`] — the chunk decomposition,
+/// accumulation order, and final scaling (×0.5 vs ÷2) agree exactly —
+/// so exact and sampled results live on one code path.
+///
+/// Pivot *selection* (seeded, deterministic) lives with the callers;
+/// `hot-metrics` picks seeded uniform pivots above its node threshold.
+/// Output is bit-identical at every thread count, as always.
+pub fn par_betweenness_sampled(csr: &CsrGraph, pivots: &[NodeId], threads: usize) -> Vec<f64> {
+    let n = csr.node_count();
+    if n == 0 || pivots.is_empty() {
+        return vec![0.0; n];
+    }
+    let partials = run_chunks(
+        pivots.len(),
+        threads,
+        || BrandesScratch::new(csr),
+        |scratch, range| {
+            let mut partial = vec![0.0f64; n];
+            for &p in &pivots[range] {
+                scratch.accumulate_source(csr, p, &mut partial);
+            }
+            partial
+        },
+    );
+    let mut centrality = vec![0.0f64; n];
+    for (_, partial) in partials {
+        for (c, p) in centrality.iter_mut().zip(partial) {
+            *c += p;
+        }
+    }
+    // Each unordered pair is seen twice per covering pivot; the n/k
+    // factor extrapolates the pivot subset to all sources.
+    let scale = n as f64 / (2.0 * pivots.len() as f64);
+    for c in &mut centrality {
+        *c *= scale;
+    }
+    centrality
+}
+
 /// Aggregate of a multi-source BFS sweep: the ingredients of mean path
 /// length, diameter, and the hop plot. All fields are integer-valued, so
 /// parallel merging is exact by construction.
@@ -262,37 +306,25 @@ impl PathSummary {
 
 /// BFS from every source in `sources`, aggregated into a [`PathSummary`],
 /// on `threads` worker threads. Unreachable pairs are skipped.
+///
+/// Runs on the direction-optimizing distance kernel
+/// ([`CsrGraph::bfs_distances_into`]): the summary only consumes the
+/// distance multiset, which is identical between classic and
+/// direction-optimizing traversals, so swapping the kernel changed no
+/// output bit while cutting the per-source edge traffic on the fat
+/// middle levels of low-diameter internet graphs.
 pub fn par_path_summary(csr: &CsrGraph, sources: &[NodeId], threads: usize) -> PathSummary {
     let n = csr.node_count();
     let partials = run_chunks(
         sources.len(),
         threads,
-        || (vec![UNREACHABLE; n], Vec::<NodeId>::with_capacity(n)),
-        |(dist, queue), range| {
+        || BfsScratch::sized(n),
+        |scratch, range| {
             let mut summary = PathSummary::default();
             for &s in &sources[range] {
-                // Inline BFS; the scratch buffers persist across sources
-                // and chunks, reset via the previous visit list.
-                for &v in queue.iter() {
-                    dist[v.index()] = UNREACHABLE;
-                }
-                dist[s.index()] = 0;
-                queue.clear();
-                queue.push(s);
-                let mut head = 0;
-                while head < queue.len() {
-                    let v = queue[head];
-                    head += 1;
-                    let d = dist[v.index()] + 1;
-                    for &u in csr.neighbors(v) {
-                        if dist[u.index()] == UNREACHABLE {
-                            dist[u.index()] = d;
-                            queue.push(u);
-                        }
-                    }
-                }
-                for &v in queue.iter() {
-                    let d = dist[v.index()];
+                csr.bfs_distances_into(s, scratch);
+                for &v in scratch.reached() {
+                    let d = scratch.dist()[v as usize];
                     if d == 0 {
                         continue;
                     }
@@ -423,6 +455,49 @@ mod tests {
         let mut one: Graph<(), ()> = Graph::new();
         one.add_node(());
         assert_eq!(par_betweenness(&CsrGraph::from_graph(&one), 4), vec![0.0]);
+    }
+
+    /// With pivots = all nodes the sampled estimator must reproduce the
+    /// exact kernel bit-for-bit (same chunking, same accumulation order,
+    /// ×0.5 scaling == ÷2).
+    #[test]
+    fn sampled_betweenness_all_pivots_is_exact() {
+        let g = grid(7, 5);
+        let csr = CsrGraph::from_graph(&g);
+        let exact = par_betweenness(&csr, default_threads());
+        let pivots: Vec<NodeId> = (0..csr.node_count() as u32).map(NodeId).collect();
+        let sampled = par_betweenness_sampled(&csr, &pivots, default_threads());
+        let same = exact
+            .iter()
+            .zip(&sampled)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "all-pivot estimate must equal the exact kernel");
+    }
+
+    #[test]
+    fn sampled_betweenness_thread_counts_agree() {
+        let g = grid(7, 5);
+        let csr = CsrGraph::from_graph(&g);
+        let pivots: Vec<NodeId> = [0u32, 3, 11, 17, 29, 34]
+            .iter()
+            .map(|&v| NodeId(v))
+            .collect();
+        let reference = par_betweenness_sampled(&csr, &pivots, 1);
+        for threads in 2..=8 {
+            let b = par_betweenness_sampled(&csr, &pivots, threads);
+            let same = reference
+                .iter()
+                .zip(&b)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "bit mismatch at {} threads", threads);
+        }
+        // Degenerate inputs stay well-defined.
+        assert_eq!(
+            par_betweenness_sampled(&csr, &[], 4),
+            vec![0.0; csr.node_count()]
+        );
+        let empty: Graph<(), ()> = Graph::new();
+        assert!(par_betweenness_sampled(&CsrGraph::from_graph(&empty), &[], 4).is_empty());
     }
 
     #[test]

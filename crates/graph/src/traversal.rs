@@ -87,11 +87,13 @@ pub fn dfs_order<N, E>(g: &Graph<N, E>, start: NodeId) -> Vec<NodeId> {
 }
 
 /// Connected-component label (0-based, in order of discovery) per node.
-pub fn connected_components<N, E>(g: &Graph<N, E>) -> Vec<usize> {
-    let mut label = vec![usize::MAX; g.node_count()];
-    let mut next = 0;
+/// u32 labels: there are at most as many components as nodes, and node
+/// ids are u32.
+pub fn connected_components<N, E>(g: &Graph<N, E>) -> Vec<u32> {
+    let mut label = vec![u32::MAX; g.node_count()];
+    let mut next = 0u32;
     for start in g.node_ids() {
-        if label[start.index()] != usize::MAX {
+        if label[start.index()] != u32::MAX {
             continue;
         }
         for v in bfs_order(g, start) {
@@ -108,7 +110,7 @@ pub fn component_count<N, E>(g: &Graph<N, E>) -> usize {
         .iter()
         .copied()
         .max()
-        .map_or(0, |m| m + 1)
+        .map_or(0, |m| m as usize + 1)
 }
 
 /// Whether the graph is connected. The empty graph counts as connected.
@@ -119,10 +121,10 @@ pub fn is_connected<N, E>(g: &Graph<N, E>) -> bool {
 /// Size of the largest connected component (0 for the empty graph).
 pub fn largest_component_size<N, E>(g: &Graph<N, E>) -> usize {
     let labels = connected_components(g);
-    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let k = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
     let mut sizes = vec![0usize; k];
     for l in labels {
-        sizes[l] += 1;
+        sizes[l as usize] += 1;
     }
     sizes.into_iter().max().unwrap_or(0)
 }
@@ -133,14 +135,14 @@ pub fn largest_component_size<N, E>(g: &Graph<N, E>) -> usize {
 /// vector for the empty graph.
 pub fn largest_component_mask<N, E>(g: &Graph<N, E>) -> Vec<bool> {
     let labels = connected_components(g);
-    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let k = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
     let mut sizes = vec![0usize; k];
     for &l in &labels {
-        sizes[l] += 1;
+        sizes[l as usize] += 1;
     }
     let best = (0..k).max_by_key(|&i| (sizes[i], std::cmp::Reverse(i)));
     match best {
-        Some(b) => labels.into_iter().map(|l| l == b).collect(),
+        Some(b) => labels.into_iter().map(|l| l as usize == b).collect(),
         None => Vec::new(),
     }
 }

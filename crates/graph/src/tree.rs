@@ -155,9 +155,9 @@ impl RootedTree {
     }
 
     /// The undirected degree of every node.
-    pub fn degree_sequence(&self) -> Vec<usize> {
+    pub fn degree_sequence(&self) -> Vec<u32> {
         (0..self.len() as u32)
-            .map(|i| self.undirected_degree(NodeId(i)))
+            .map(|i| self.undirected_degree(NodeId(i)) as u32)
             .collect()
     }
 
@@ -312,7 +312,10 @@ mod tests {
         assert_eq!(t.undirected_degree(NodeId(1)), 3);
         assert_eq!(t.undirected_degree(NodeId(0)), 1);
         // Degree sum = 2(n-1) for a tree.
-        assert_eq!(t.degree_sequence().iter().sum::<usize>(), 2 * (t.len() - 1));
+        assert_eq!(
+            t.degree_sequence().iter().sum::<u32>() as usize,
+            2 * (t.len() - 1)
+        );
     }
 
     #[test]

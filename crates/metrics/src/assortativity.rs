@@ -48,7 +48,7 @@ pub fn assortativity<N, E>(g: &Graph<N, E>) -> Option<f64> {
 ///
 /// Returns `None` when fewer than 2 nodes exceed `k`. Values near 1 mean
 /// the high-degree "club" is almost a clique.
-pub fn rich_club_coefficient<N, E>(g: &Graph<N, E>, k: usize) -> Option<f64> {
+pub fn rich_club_coefficient<N, E>(g: &Graph<N, E>, k: u32) -> Option<f64> {
     let deg = g.degree_sequence();
     let members: Vec<bool> = deg.iter().map(|&d| d > k).collect();
     let n_club = members.iter().filter(|&&m| m).count();
@@ -66,7 +66,7 @@ pub fn rich_club_coefficient<N, E>(g: &Graph<N, E>, k: usize) -> Option<f64> {
 
 /// Rich-club profile at the degree deciles of the graph, as
 /// `(k, φ(k))` pairs (entries with undefined φ skipped).
-pub fn rich_club_profile<N, E>(g: &Graph<N, E>) -> Vec<(usize, f64)> {
+pub fn rich_club_profile<N, E>(g: &Graph<N, E>) -> Vec<(u32, f64)> {
     let mut degs = g.degree_sequence();
     degs.sort_unstable();
     degs.dedup();

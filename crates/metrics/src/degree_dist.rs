@@ -10,7 +10,7 @@ use hot_graph::graph::Graph;
 #[derive(Clone, Copy, Debug)]
 pub struct DegreeSummary {
     pub mean: f64,
-    pub max: usize,
+    pub max: u32,
     /// Coefficient of variation (σ/μ) — heavy tails push this up.
     pub cv: f64,
     /// Fraction of nodes with degree 1 (leaves).
@@ -23,7 +23,7 @@ pub fn summarize<N, E>(g: &Graph<N, E>) -> DegreeSummary {
 }
 
 /// Computes the summary for a raw degree sample.
-pub fn summarize_sample(degs: &[usize]) -> DegreeSummary {
+pub fn summarize_sample(degs: &[u32]) -> DegreeSummary {
     let n = degs.len();
     if n == 0 {
         return DegreeSummary {
@@ -33,7 +33,7 @@ pub fn summarize_sample(degs: &[usize]) -> DegreeSummary {
             leaf_fraction: 0.0,
         };
     }
-    let mean = degs.iter().sum::<usize>() as f64 / n as f64;
+    let mean = degs.iter().map(|&d| d as u64).sum::<u64>() as f64 / n as f64;
     let var = degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
     let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
     DegreeSummary {
@@ -46,7 +46,7 @@ pub fn summarize_sample(degs: &[usize]) -> DegreeSummary {
 
 /// Renders a log-log ASCII scatter of a CCDF, for terminal output in the
 /// examples. `width`/`height` are the plot dimensions in characters.
-pub fn ascii_ccdf(sample: &[usize], width: usize, height: usize) -> String {
+pub fn ascii_ccdf(sample: &[u32], width: usize, height: usize) -> String {
     let ccdf = hot_graph::degree::ccdf_of(sample);
     let pts: Vec<(f64, f64)> = ccdf
         .into_iter()
@@ -119,8 +119,8 @@ mod tests {
 
     #[test]
     fn ascii_plot_shape() {
-        let sample: Vec<usize> = (1..100)
-            .flat_map(|k| std::iter::repeat_n(k, 100 / k))
+        let sample: Vec<u32> = (1u32..100)
+            .flat_map(|k| std::iter::repeat_n(k, (100 / k) as usize))
             .collect();
         let plot = ascii_ccdf(&sample, 40, 10);
         assert!(plot.contains('*'));

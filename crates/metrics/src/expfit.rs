@@ -13,7 +13,7 @@ use crate::powerlaw::{fit_ccdf, least_squares, Fit};
 /// Exponential CCDF fit: least squares of `ln P[D ≥ k]` on `k`.
 /// The returned `exponent` is the decay rate λ. `None` with fewer than 2
 /// distinct degrees.
-pub fn fit_exponential(sample: &[usize]) -> Option<Fit> {
+pub fn fit_exponential(sample: &[u32]) -> Option<Fit> {
     let ccdf = hot_graph::degree::ccdf_of(sample);
     let pts: Vec<(f64, f64)> = ccdf
         .into_iter()
@@ -51,11 +51,11 @@ const R2_MARGIN: f64 = 0.015;
 ///
 /// Samples with fewer than 4 distinct degree values are `Inconclusive`
 /// (both families fit 2–3 points near-perfectly).
-pub fn classify(sample: &[usize]) -> TailVerdict {
+pub fn classify(sample: &[u32]) -> TailVerdict {
     let power = fit_ccdf(sample);
     let exponential = fit_exponential(sample);
     let distinct = {
-        let mut s: Vec<usize> = sample.to_vec();
+        let mut s: Vec<u32> = sample.to_vec();
         s.sort_unstable();
         s.dedup();
         s.len()
@@ -98,7 +98,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn geometric_sample(p_continue: f64, n: usize, seed: u64) -> Vec<usize> {
+    fn geometric_sample(p_continue: f64, n: usize, seed: u64) -> Vec<u32> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
@@ -111,12 +111,12 @@ mod tests {
             .collect()
     }
 
-    fn pareto_sample(gamma: f64, n: usize, seed: u64) -> Vec<usize> {
+    fn pareto_sample(gamma: f64, n: usize, seed: u64) -> Vec<u32> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let u: f64 = rng.random_range(0.0f64..1.0);
-                ((1.0 - u).powf(-1.0 / (gamma - 1.0)).round() as usize).clamp(1, 100_000)
+                ((1.0 - u).powf(-1.0 / (gamma - 1.0)).round() as u32).clamp(1, 100_000)
             })
             .collect()
     }

@@ -57,7 +57,7 @@ pub fn least_squares(points: &[(f64, f64)]) -> Option<Fit> {
 
 /// CCDF power-law fit of a degree sample. Zero degrees are excluded
 /// (log-scale). Returns `None` when fewer than 2 distinct degrees exist.
-pub fn fit_ccdf(sample: &[usize]) -> Option<Fit> {
+pub fn fit_ccdf(sample: &[u32]) -> Option<Fit> {
     let ccdf = hot_graph::degree::ccdf_of(sample);
     let pts: Vec<(f64, f64)> = ccdf
         .into_iter()
@@ -69,8 +69,8 @@ pub fn fit_ccdf(sample: &[usize]) -> Option<Fit> {
 
 /// Rank power-law fit: `log degree` against `log rank` (descending
 /// degrees, 1-based ranks). Zero degrees excluded.
-pub fn fit_rank(sample: &[usize]) -> Option<Fit> {
-    let mut degs: Vec<usize> = sample.iter().copied().filter(|&d| d > 0).collect();
+pub fn fit_rank(sample: &[u32]) -> Option<Fit> {
+    let mut degs: Vec<u32> = sample.iter().copied().filter(|&d| d > 0).collect();
     degs.sort_unstable_by(|a, b| b.cmp(a));
     let pts: Vec<(f64, f64)> = degs
         .iter()
@@ -83,7 +83,7 @@ pub fn fit_rank(sample: &[usize]) -> Option<Fit> {
 /// Hill MLE of the tail exponent `γ` using degrees ≥ `k_min`:
 /// `γ = 1 + m / Σ ln(dᵢ / (k_min − ½))`.
 /// Returns `None` when fewer than `3` tail points exist.
-pub fn hill_estimator(sample: &[usize], k_min: usize) -> Option<f64> {
+pub fn hill_estimator(sample: &[u32], k_min: u32) -> Option<f64> {
     assert!(k_min >= 1, "k_min must be at least 1");
     let tail: Vec<f64> = sample
         .iter()
@@ -108,14 +108,14 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Draws from a discrete power law P(k) ∝ k^-gamma on [1, 10_000].
-    fn power_law_sample(gamma: f64, n: usize, seed: u64) -> Vec<usize> {
+    fn power_law_sample(gamma: f64, n: usize, seed: u64) -> Vec<u32> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 // Inverse transform for continuous Pareto, rounded.
                 let u: f64 = rng.random_range(0.0f64..1.0);
                 let x = (1.0 - u).powf(-1.0 / (gamma - 1.0));
-                (x.round() as usize).clamp(1, 10_000)
+                (x.round() as u32).clamp(1, 10_000)
             })
             .collect()
     }
@@ -167,7 +167,7 @@ mod tests {
     fn exponential_degrees_fit_power_law_poorly() {
         // Geometric sample: CCDF is exponential in k, not a power law.
         let mut rng = StdRng::seed_from_u64(4);
-        let sample: Vec<usize> = (0..50_000)
+        let sample: Vec<u32> = (0..50_000)
             .map(|_| {
                 let mut k = 1;
                 while rng.random_range(0.0..1.0) < 0.6 {
@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn fits_none_on_constant_sample() {
-        let sample = vec![3usize; 100];
+        let sample = vec![3u32; 100];
         assert!(fit_ccdf(&sample).is_none());
     }
 }

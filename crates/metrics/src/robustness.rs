@@ -78,12 +78,14 @@ pub fn degradation_curve<N: Clone, E: Clone>(
             })
             .collect();
     }
-    let mut order: Vec<usize> = (0..n).collect();
+    // u32 order: same Fisher–Yates draw sequence (shuffling is
+    // index-based, element width irrelevant), half the memory.
+    let mut order: Vec<u32> = (0..n as u32).collect();
     match policy {
         RemovalPolicy::RandomFailure => order.shuffle(rng),
         RemovalPolicy::DegreeAttack => {
             let degs = g.degree_sequence();
-            order.sort_by_key(|&v| (std::cmp::Reverse(degs[v]), v));
+            order.sort_by_key(|&v| (std::cmp::Reverse(degs[v as usize]), v));
         }
     }
     let csr = CsrGraph::from_graph(g);
@@ -102,7 +104,7 @@ pub fn degradation_curve<N: Clone, E: Clone>(
                     let k = ((n as f64) * f).round() as usize;
                     keep.iter_mut().for_each(|b| *b = true);
                     for &v in order.iter().take(k) {
-                        keep[v] = false;
+                        keep[v as usize] = false;
                     }
                     DegradationPoint {
                         removed_fraction: f,

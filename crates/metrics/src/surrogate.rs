@@ -24,7 +24,7 @@ pub struct Fingerprint {
     /// The full metric vector.
     pub metrics: MetricReport,
     /// `(degree, count)` pairs, ascending.
-    pub degree_histogram: Vec<(usize, usize)>,
+    pub degree_histogram: Vec<(u32, usize)>,
 }
 
 /// Computes an anonymized fingerprint of a topology.

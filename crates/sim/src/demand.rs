@@ -202,6 +202,37 @@ impl DemandMatrix {
         matrix
     }
 
+    /// Like [`DemandMatrix::from_masses`], but with an explicit `scale`
+    /// factor instead of normalizing the total: `demand(i, j) =
+    /// scale * mass_i * mass_j * kernel(i, j)`. Skips the O(n²)
+    /// normalization sweep of [`DemandMatrix::total`], which would
+    /// dominate the whole run on million-node graphs. Load-shape
+    /// statistics (flow counts, hop distributions, Gini) are invariant
+    /// under the scale, so pass `1.0` unless absolute volumes matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is present with a length other than
+    /// `mass.len()`.
+    pub fn from_masses_scaled(
+        mass: Vec<f64>,
+        positions: Option<Vec<Point>>,
+        distance_exponent: f64,
+        min_distance: f64,
+        scale: f64,
+    ) -> DemandMatrix {
+        if let Some(p) = &positions {
+            assert_eq!(p.len(), mass.len(), "one position per node");
+        }
+        DemandMatrix {
+            mass,
+            positions,
+            gamma: distance_exponent,
+            min_distance,
+            scale,
+        }
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.mass.len()
@@ -453,5 +484,24 @@ mod tests {
         assert_eq!(one.demand(0, 0), 0.0);
         let zeros = DemandMatrix::from_masses(vec![0.0; 4], None, 0.0, 1.0, 10.0);
         assert_eq!(zeros.total(), 0.0);
+    }
+
+    #[test]
+    fn from_masses_scaled_matches_normalized_up_to_scale() {
+        let mass = vec![0.0, 2.0, 1.0, 3.0, 1.0];
+        let pos: Vec<Point> = (0..5)
+            .map(|i| Point::new(i as f64, 0.5 * i as f64))
+            .collect();
+        let normalized = DemandMatrix::from_masses(mass.clone(), Some(pos.clone()), 1.2, 0.5, 90.0);
+        let raw = DemandMatrix::from_masses_scaled(mass, Some(pos), 1.2, 0.5, 1.0);
+        let ratio = normalized.demand(1, 3) / raw.demand(1, 3);
+        for i in 0..5 {
+            for j in 0..5 {
+                if raw.demand(i, j) > 0.0 {
+                    assert!((normalized.demand(i, j) / raw.demand(i, j) - ratio).abs() < 1e-9);
+                }
+            }
+        }
+        assert!((normalized.total() - 90.0).abs() < 1e-9);
     }
 }

@@ -50,7 +50,7 @@ impl InferredMap {
     }
 
     /// Degree sequence of the inferred topology.
-    pub fn degree_sequence<N: Clone, E: Clone>(&self, truth: &Graph<N, E>) -> Vec<usize> {
+    pub fn degree_sequence<N: Clone, E: Clone>(&self, truth: &Graph<N, E>) -> Vec<u32> {
         self.to_graph(truth).degree_sequence()
     }
 }

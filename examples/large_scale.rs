@@ -1,29 +1,41 @@
-//! Large scale: generate and analyze a ~100k-router Internet end to end.
+//! Large scale: generate, snapshot, and analyze a 1,000,000-router
+//! Internet end to end.
 //!
 //! The seed experiments run at ~1k–3k nodes; this example is the
-//! production-scale path the CSR kernels exist for. It runs the paper's
-//! full pipeline — census, gravity traffic, ~100 economics-designed ISPs
-//! with Zipf footprints, peering — into one combined router graph of
-//! roughly 100,000 nodes, builds the flat [`CsrGraph`] view once, and
-//! runs the whole-graph analytics (sampled path metrics, the E10
-//! robust-yet-fragile sweep, trunk betweenness, hop-count routing), each
-//! on the parallel kernels, printing wall-clock per stage.
-//!
-//! Runs in a couple of minutes on a laptop core; scales down with the
-//! thread count of course:
+//! production-scale path the u32/SoA CSR kernels exist for. It runs the
+//! paper's full pipeline — census, gravity traffic, an
+//! economics-designed ISP population with Zipf footprints, peering — into one
+//! combined router graph (1M routers by default), saves the topology as
+//! a binary [`Snapshot`], and runs the whole-graph analytics on the
+//! flat CSR view: component structure, sampled path metrics, the E10
+//! robust-yet-fragile sweep, trunk betweenness, and a million-flow
+//! batched link-load run. Each stage prints wall-clock; the topology
+//! stage also prints routers/second.
 //!
 //! ```text
-//! cargo run --release --example large_scale
+//! cargo run --release --example large_scale                 # 1M routers
+//! cargo run --release --example large_scale 250000          # smaller
+//! cargo run --release --example large_scale 1000000 net.snap
 //! ```
+//!
+//! With a snapshot path, the first run writes `net.snap` after
+//! generating and later runs reload it instead of regenerating — the
+//! analytics consume identical bytes either way. Set `FULL_BETWEENNESS=1`
+//! to also run whole-graph betweenness: above 100k nodes the
+//! pivot-sampled estimator stands in for exact Brandes automatically.
 
 use hotgen::graph::csr::CsrGraph;
-use hotgen::graph::parallel::{default_threads, par_betweenness};
+use hotgen::graph::io::Snapshot;
+use hotgen::graph::parallel::default_threads;
+use hotgen::metrics::hierarchy::{betweenness_estimate, gini};
 use hotgen::metrics::paths::path_metrics;
 use hotgen::metrics::robustness::{degradation_curve, robustness_score, RemovalPolicy};
 use hotgen::prelude::*;
-use hotgen::sim::routing::{load_gini, route, Demand, IgpMetric};
+use hotgen::sim::demand::DemandMatrix;
+use hotgen::sim::traffic::{link_loads, RoutePolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
 use std::time::Instant;
 
 fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
@@ -33,47 +45,176 @@ fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
-fn main() {
-    let threads = default_threads();
-    println!("worker threads: {}", threads);
+/// Everything the analytics below consume, identical whether the
+/// topology was generated cold or reloaded from a snapshot.
+struct Topology {
+    csr: CsrGraph,
+    /// Per-node: is this a customer router?
+    customer: Vec<bool>,
+    /// Per-edge: is this a trunk (backbone/metro/peering) link?
+    trunk: Vec<bool>,
+    /// Edge endpoints by edge id.
+    endpoints: Vec<(u32, u32)>,
+}
 
-    // Geography: 120 Zipf cities shared by every ISP.
+/// Generates the full economy at roughly `target_nodes` routers and
+/// packs the analytics inputs into a [`Snapshot`].
+fn generate_snapshot(target_nodes: usize, seed: u64) -> Snapshot {
     let census = Census::synthesize(
         &CensusConfig {
             n_cities: 120,
             ..CensusConfig::default()
         },
-        &mut StdRng::seed_from_u64(42),
+        &mut StdRng::seed_from_u64(seed),
     );
     let traffic = TrafficMatrix::gravity(&census, &GravityConfig::default());
-    // 100 ISPs with Zipf footprints: the largest runs 24 POPs × 490
-    // customers; summed over the economy the combined router graph lands
-    // just above 100k nodes.
+    // Scale by growing the ISP population (Zipf footprints, largest ISP
+    // 24 POPs) at a fixed 490 customers per POP: per-POP access design
+    // (Esau-Williams trees, facility location) is superlinear in
+    // customers-per-POP, so adding POPs keeps generation linear in the
+    // target. Each POP contributes ~500 routers all told — customers
+    // that survive the profitability screen plus concentrator,
+    // distribution, and backbone infrastructure — so size the ISP
+    // population by POP count.
+    const MAX_POPS: usize = 24;
+    const SIZE_EXPONENT: f64 = 0.8;
+    const ROUTERS_PER_POP: f64 = 490.0;
+    let mut n_isps = 0usize;
+    let mut pops = 0usize;
+    while (pops as f64) * ROUTERS_PER_POP < target_nodes as f64 || n_isps < 4 {
+        n_isps += 1;
+        let s = MAX_POPS as f64 / (n_isps as f64).powf(SIZE_EXPONENT);
+        pops += (s.round() as usize).clamp(1, MAX_POPS);
+    }
     let config = InternetConfig {
-        n_isps: 100,
-        max_pops: 24,
+        n_isps,
+        max_pops: MAX_POPS,
+        size_exponent: SIZE_EXPONENT,
         customers_per_pop: 490,
         ..InternetConfig::default()
     };
-    let net = timed("generate internet (100 ISPs + peering)", || {
-        generate_internet(&census, &traffic, &config, &mut StdRng::seed_from_u64(43))
-    });
-    let g = timed("combine router graphs (degree-capped)", || {
-        net.combined_router_graph()
-    });
+    let net = generate_internet(
+        &census,
+        &traffic,
+        &config,
+        &mut StdRng::seed_from_u64(seed + 1),
+    );
+    let g = net.combined_router_graph();
+    let mut snap = Snapshot::new(CsrGraph::from_graph(&g));
+    snap.node_u32.push((
+        "customer".into(),
+        g.node_ids()
+            .map(|v| (g.node_weight(v).role == RouterRole::Customer) as u32)
+            .collect(),
+    ));
+    snap.edge_u32.push((
+        "trunk".into(),
+        g.edge_ids()
+            .map(|e| {
+                matches!(
+                    g.edge_weight(e).kind,
+                    LinkKind::Backbone | LinkKind::Metro | LinkKind::Peering
+                ) as u32
+            })
+            .collect(),
+    ));
+    let (mut ep_a, mut ep_b) = (Vec::new(), Vec::new());
+    for (_, a, b, _) in g.edges() {
+        ep_a.push(a.0);
+        ep_b.push(b.0);
+    }
+    snap.edge_u32.push(("ep_a".into(), ep_a));
+    snap.edge_u32.push(("ep_b".into(), ep_b));
+    snap
+}
+
+fn unpack(snap: Snapshot) -> Topology {
+    let col = |name: &str| -> Vec<u32> {
+        snap.edge_u32
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("snapshot missing edge column {:?}", name))
+            .1
+            .clone()
+    };
+    let customer: Vec<bool> = snap
+        .node_u32
+        .iter()
+        .find(|(n, _)| n == "customer")
+        .expect("snapshot missing node column \"customer\"")
+        .1
+        .iter()
+        .map(|&c| c != 0)
+        .collect();
+    let trunk: Vec<bool> = col("trunk").iter().map(|&t| t != 0).collect();
+    let endpoints: Vec<(u32, u32)> = col("ep_a").into_iter().zip(col("ep_b")).collect();
+    Topology {
+        csr: snap.csr,
+        customer,
+        trunk,
+        endpoints,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let target_nodes: usize = args
+        .get(1)
+        .map(|a| a.parse().expect("node count must be an integer"))
+        .unwrap_or(1_000_000);
+    let snap_path = args.get(2).map(Path::new);
+    let threads = default_threads();
     println!(
-        "topology: {} routers, {} links, {} peering links, max degree {}",
-        g.node_count(),
-        g.edge_count(),
-        net.peering.len(),
-        g.degree_sequence().into_iter().max().unwrap_or(0)
+        "worker threads: {}, target {} routers{}",
+        threads,
+        target_nodes,
+        snap_path.map_or(String::new(), |p| format!(", snapshot {}", p.display()))
     );
 
-    // One O(n + m) pass over the combined graph.
-    let csr = timed("build CsrGraph view", || CsrGraph::from_graph(&g));
+    // Topology: reload the snapshot when it exists, generate (and
+    // cache) otherwise. Analytics below never see the difference.
+    let t0 = Instant::now();
+    let (topo, how) = match snap_path {
+        Some(path) if path.exists() => {
+            let snap = timed("load binary snapshot", || {
+                Snapshot::load(path).expect("snapshot loads")
+            });
+            (unpack(snap), "loaded")
+        }
+        _ => {
+            let snap = timed("generate internet (Zipf ISP economy + peering)", || {
+                generate_snapshot(target_nodes, 42)
+            });
+            if let Some(path) = snap_path {
+                timed("write binary snapshot", || {
+                    snap.save(path).expect("snapshot saves")
+                });
+            }
+            (unpack(snap), "generated")
+        }
+    };
+    let n = topo.csr.node_count();
+    let m = topo.endpoints.len();
+    println!(
+        "topology ({}): {} routers, {} links, max degree {} — {:.0} routers/s",
+        how,
+        n,
+        m,
+        topo.csr.degree_sequence().into_iter().max().unwrap_or(0),
+        n as f64 / t0.elapsed().as_secs_f64()
+    );
     println!(
         "  giant component: {:.1}% of routers",
-        100.0 * csr.largest_component_size() as f64 / csr.node_count() as f64
+        100.0 * topo.csr.largest_component_size() as f64 / n.max(1) as f64
+    );
+
+    // The adjacency-list view, rebuilt from the endpoint columns — edge
+    // ids and adjacency order match the generated graph exactly.
+    let g: hotgen::graph::Graph<(), ()> = hotgen::graph::Graph::from_edges(
+        n,
+        topo.endpoints
+            .iter()
+            .map(|&(a, b)| (a as usize, b as usize, ())),
     );
 
     let paths = timed("path metrics (sampled BFS sweep)", || path_metrics(&g));
@@ -108,65 +249,63 @@ fn main() {
         robustness_score(&attack)
     );
 
-    // Full betweenness is O(n·m) — at 100k nodes that is the trunk's
-    // job, not the access leaves'. Analyze the transit core: backbone,
-    // metro, and peering links.
-    let keep: Vec<bool> = g
-        .edge_ids()
-        .map(|e| {
-            matches!(
-                g.edge_weight(e).kind,
-                LinkKind::Backbone | LinkKind::Metro | LinkKind::Peering
-            )
-        })
-        .collect();
-    let core = g.edge_subgraph(&keep);
+    // Trunk betweenness: backbone + metro + peering, the transit core.
+    let core = g.edge_subgraph(&topo.trunk);
     let core_mask = CsrGraph::from_graph(&core).largest_component_mask();
     let (core, _) = core.induced_subgraph(&core_mask);
     let core_csr = CsrGraph::from_graph(&core);
-    let b = timed(
-        &format!("trunk betweenness ({} nodes, par)", core.node_count()),
-        || par_betweenness(&core_csr, threads),
+    let (b, sampled) = timed(
+        &format!("trunk betweenness ({} nodes)", core.node_count()),
+        || betweenness_estimate(&core_csr, threads),
     );
     let mut sorted = b.clone();
-    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    sorted.sort_by(|x, y| y.partial_cmp(x).unwrap());
     let total: f64 = sorted.iter().sum();
     let top = sorted.iter().take(core.node_count() / 10).sum::<f64>();
     println!(
-        "  top decile of trunk routers carries {:.0}% of trunk betweenness",
-        100.0 * top / total.max(1e-12)
+        "  top decile of trunk routers carries {:.0}% of trunk betweenness (sampled={})",
+        100.0 * top / total.max(1e-12),
+        sampled
     );
 
-    // Hop-count routing of a strided customer demand sample on the CSR
-    // BFS kernel (one flat BFS per distinct source).
-    let customers: Vec<NodeId> = g
-        .node_ids()
-        .filter(|&v| g.node_weight(v).role == RouterRole::Customer)
+    // Whole-graph betweenness on request: above 100k nodes the seeded
+    // pivot estimator kicks in automatically.
+    if std::env::var("FULL_BETWEENNESS").as_deref() == Ok("1") {
+        let (b, sampled) = timed("whole-graph betweenness", || {
+            betweenness_estimate(&topo.csr, threads)
+        });
+        println!(
+            "  whole-graph betweenness gini {:.3} (sampled={})",
+            gini(&b),
+            sampled
+        );
+    }
+
+    // Million-flow link loads on the batched tree-reuse engine: uniform
+    // demand among ~1024 strided customers is > 1M ordered OD flows,
+    // routed from one BFS tree per distinct source.
+    let customers: Vec<u32> = (0..n as u32)
+        .filter(|&v| topo.customer[v as usize])
         .collect();
-    let m = customers.len();
-    let stride = ((m as f64 * 0.618_033_9) as usize).max(1);
-    let demands: Vec<Demand> = (0..2000)
-        .map(|i| {
-            let a = i % m;
-            let mut bi = (i * stride) % m;
-            if bi == a {
-                bi = (bi + 1) % m;
-            }
-            Demand {
-                src: customers[a],
-                dst: customers[bi],
-                amount: 1.0,
-            }
-        })
-        .collect();
-    let outcome = timed("route 2000 customer demands (CSR BFS)", || {
-        route(&g, &demands, IgpMetric::HopCount, |_, _| 1.0)
-    });
+    let n_sources = customers.len().min(1_024);
+    let stride = (customers.len() / n_sources.max(1)).max(1);
+    let mut mass = vec![0.0; n];
+    for &v in customers.iter().step_by(stride).take(n_sources) {
+        mass[v as usize] = 1.0;
+    }
+    // Explicit unit scale: the normalizing constructor sums demand over
+    // all node pairs (O(n²)) and the load statistics below are
+    // scale-invariant, so every routed flow just carries amount 1.
+    let demand = DemandMatrix::from_masses_scaled(mass, None, 0.0, 1.0, 1.0);
+    let out = timed(
+        &format!("batched link loads ({} sources)", n_sources),
+        || link_loads(&topo.csr, &demand, RoutePolicy::TreePath, threads),
+    );
     println!(
-        "  mean {:.2} hops, max link load {:.0}, load gini {:.3}, unrouted {}",
-        outcome.mean_hops(),
-        outcome.max_load(),
-        load_gini(&outcome),
-        outcome.unrouted.len()
+        "  {} flows routed ({} unrouted), mean {:.2} hops, load gini {:.3}",
+        out.routed_flows,
+        out.unrouted_flows,
+        out.mean_hops(),
+        gini(&out.link_load)
     );
 }

@@ -28,6 +28,7 @@ fn ctx(threads: usize) -> RunCtx {
         scale: Scale::Golden,
         seed: SEED,
         threads,
+        snapshot_dir: None,
     }
 }
 
@@ -150,6 +151,41 @@ fn thread_count_does_not_change_reports() {
         let parallel = (spec.run)(ctx(4)).to_json().pretty();
         assert_eq!(serial, parallel, "{} output depends on thread count", id);
     }
+}
+
+/// The snapshot cache must be invisible in the output: E15 run cold
+/// (writing the cache), warm (replaying it), and with no cache at all
+/// must emit byte-identical JSON — and the warm run must actually have
+/// hit the cache file the cold run wrote.
+#[test]
+fn snapshot_cache_replays_identical_bytes() {
+    let dir = std::env::temp_dir().join(format!("hotsnap-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cached_ctx = || RunCtx {
+        scale: Scale::Golden,
+        seed: SEED,
+        threads: 1,
+        snapshot_dir: Some(dir.clone()),
+    };
+    let spec = registry::find("e15").expect("registered");
+    let uncached = (spec.run)(ctx(1)).to_json().pretty();
+    let cold = (spec.run)(cached_ctx()).to_json().pretty();
+    let snaps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cold run created the cache dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+        .collect();
+    assert_eq!(snaps.len(), 1, "cold E15 writes exactly one snapshot");
+    let mtime = std::fs::metadata(&snaps[0]).unwrap().modified().unwrap();
+    let warm = (spec.run)(cached_ctx()).to_json().pretty();
+    assert_eq!(
+        std::fs::metadata(&snaps[0]).unwrap().modified().unwrap(),
+        mtime,
+        "warm run must reuse the snapshot, not rewrite it"
+    );
+    assert_eq!(uncached, cold, "cache write changed the output");
+    assert_eq!(cold, warm, "cache replay changed the output");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Degenerate parameters skip instead of panicking, and the skip is

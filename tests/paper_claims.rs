@@ -155,7 +155,7 @@ fn claim_as_vs_router_degree_laws() {
         .into_iter()
         .max()
         .unwrap();
-    assert!(router_max <= net.router_degree_cap);
+    assert!((router_max as usize) <= net.router_degree_cap);
 }
 
 /// §3.1 robust-yet-fragile: optimized hub trees survive random failure
@@ -319,8 +319,12 @@ fn claim_e15_core_vs_hub_load_concentration() {
     let p = e15::Params::golden();
     let rows = e15::traffic_rows(
         &p,
-        hot_exp::SEED,
-        hotgen::graph::parallel::default_threads(),
+        &hot_exp::RunCtx {
+            scale: hot_exp::Scale::Golden,
+            seed: hot_exp::SEED,
+            threads: hotgen::graph::parallel::default_threads(),
+            snapshot_dir: None,
+        },
     );
     let row = |topology: &str, model: &str| {
         rows.iter()

@@ -104,7 +104,10 @@ fn internet_assembly_end_to_end() {
     let router = net.combined_router_graph();
     assert!(is_connected(&router));
     let cap = net.router_degree_cap;
-    assert!(router.degree_sequence().into_iter().all(|d| d <= cap));
+    assert!(router
+        .degree_sequence()
+        .into_iter()
+        .all(|d| d as usize <= cap));
     // Hub ASes reach a large fraction of all ASes (business links are
     // unbounded); no router reaches more than a sliver of all routers
     // (ports are bounded). Compare normalized max degrees.
