@@ -10,13 +10,18 @@
 //!   mix for a given flow) and distance-scaled link costs;
 //! - [`demand`]: customer demand models for access design;
 //! - [`pricing`]: revenue and the profit-based formulation's
-//!   marginal-revenue = marginal-cost stopping rule (§2.2).
+//!   marginal-revenue = marginal-cost stopping rule (§2.2);
+//! - [`provision`]: per-link capacity provisioning from loads (cable
+//!   tiers with headroom) or degrees (the BA/GLP null model), feeding
+//!   the capacitated traffic engine.
 
 pub mod cable;
 pub mod cost;
 pub mod demand;
 pub mod pricing;
+pub mod provision;
 
 pub use cable::{CableCatalog, CableType, CatalogError};
 pub use cost::LinkCost;
 pub use demand::CustomerDemand;
+pub use provision::{proportional_capacities, provision_capacities};

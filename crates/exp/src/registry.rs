@@ -1,4 +1,4 @@
-//! The scenario registry: E1–E17 as uniform, runnable entries.
+//! The scenario registry: E1–E18 as uniform, runnable entries.
 //!
 //! Each entry is a [`ScenarioSpec`] — id, name, one-line summary, and a
 //! `fn(RunCtx) -> ExpReport` that resolves the scale to that scenario's
@@ -58,7 +58,7 @@ pub struct RunCtx {
 
 /// One registered scenario.
 pub struct ScenarioSpec {
-    /// Registry id (`"e1"` … `"e17"`), the `--run` argument.
+    /// Registry id (`"e1"` … `"e18"`), the `--run` argument.
     pub id: &'static str,
     /// Short machine name (`"fkp-regimes"`).
     pub name: &'static str,
@@ -81,7 +81,7 @@ macro_rules! spec {
     };
 }
 
-static REGISTRY: [ScenarioSpec; 17] = [
+static REGISTRY: [ScenarioSpec; 18] = [
     spec!(
         "e1",
         e1,
@@ -184,6 +184,12 @@ static REGISTRY: [ScenarioSpec; 17] = [
         "policy-routing",
         "batched valley-free BGP: path inflation and hierarchy-free paths, HOT vs GLP/BA"
     ),
+    spec!(
+        "e18",
+        e18,
+        "te-cascade",
+        "capacitated TE and flash-crowd cascades: HOT absorbs the surge, hubs collapse"
+    ),
 ];
 
 /// All registered scenarios, in E-number order.
@@ -219,9 +225,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_seventeen_in_order() {
+    fn registry_has_all_eighteen_in_order() {
         let ids: Vec<&str> = registry().iter().map(|s| s.id).collect();
-        let expected: Vec<String> = (1..=17).map(|i| format!("e{}", i)).collect();
+        let expected: Vec<String> = (1..=18).map(|i| format!("e{}", i)).collect();
         assert_eq!(ids, expected.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     }
 
@@ -233,7 +239,9 @@ mod tests {
         assert_eq!(find("traffic-failure").map(|s| s.id), Some("e16"));
         assert_eq!(find("e17").map(|s| s.name), Some("policy-routing"));
         assert_eq!(find("policy-routing").map(|s| s.id), Some("e17"));
-        assert!(find("e18").is_none());
+        assert_eq!(find("e18").map(|s| s.name), Some("te-cascade"));
+        assert_eq!(find("te-cascade").map(|s| s.id), Some("e18"));
+        assert!(find("e19").is_none());
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! The seventeen scenarios, one module per experiment.
+//! The eighteen scenarios, one module per experiment.
 //!
 //! Each module exposes a `Params` struct with `golden()` / `full()` /
 //! `for_scale()` constructors and a `run(&Params, RunCtx) -> ExpReport`
 //! entry point; some additionally expose typed intermediate results
 //! (e.g. [`e1::regime_rows`], [`e5::design_curves`],
-//! [`e15::traffic_rows`], [`e17::policy_rows`]) so the paper-claims
-//! tests can assert on structured values instead of parsing tables.
+//! [`e15::traffic_rows`], [`e17::policy_rows`],
+//! [`e18::cascade_rows`]) so the paper-claims tests can assert on
+//! structured values instead of parsing tables.
 
 pub mod e1;
 pub mod e10;
@@ -16,6 +17,7 @@ pub mod e14;
 pub mod e15;
 pub mod e16;
 pub mod e17;
+pub mod e18;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -447,6 +447,60 @@ impl CsrGraph {
         self.largest_component_size_masked(&vec![true; self.node_count()])
     }
 
+    /// Edge-masked copy of this view: every node survives (ids are
+    /// unchanged), and exactly the edges whose slot in `alive` is `true`
+    /// survive, preserving relative adjacency order. Surviving edges are
+    /// renumbered densely in ascending old-id order; the returned map
+    /// gives each new edge's old id (`map[new.index()] == old`), so
+    /// per-edge columns (capacities, weights) carry across with one
+    /// gather. The allocation-light equivalent of
+    /// [`Graph::edge_subgraph`] + [`Self::from_graph`] — and exactly
+    /// equal to it, edge ids included (validated by tests), because both
+    /// preserve relative adjacency order. That makes BFS trees on the
+    /// masked view identical to trees on a rebuilt subgraph, which is
+    /// what the cascade simulator's re-route rounds rely on.
+    ///
+    /// Requires dense edge ids (every id in `edge_ids_raw()` below
+    /// `edge_count()`), which holds for any CSR built by
+    /// [`Self::from_graph`].
+    pub fn edge_masked(&self, alive: &[bool]) -> (CsrGraph, Vec<EdgeId>) {
+        assert_eq!(alive.len(), self.edge_count(), "alive mask length mismatch");
+        let mut renumber = vec![u32::MAX; self.edge_count()];
+        let mut new_to_old = Vec::new();
+        for (old, &keep) in alive.iter().enumerate() {
+            if keep {
+                renumber[old] = new_to_old.len() as u32;
+                new_to_old.push(EdgeId(old as u32));
+            }
+        }
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * new_to_old.len());
+        let mut edge_ids = Vec::with_capacity(2 * new_to_old.len());
+        offsets.push(0);
+        for v in 0..n {
+            let lo = self.offsets[v] as usize;
+            let hi = self.offsets[v + 1] as usize;
+            for i in lo..hi {
+                let old = self.edge_ids[i].index();
+                assert!(old < alive.len(), "edge ids must be dense");
+                if alive[old] {
+                    targets.push(self.targets[i]);
+                    edge_ids.push(EdgeId(renumber[old]));
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        (
+            CsrGraph {
+                offsets,
+                targets,
+                edge_ids,
+            },
+            new_to_old,
+        )
+    }
+
     /// Membership mask of the largest connected component (ties broken
     /// toward the component discovered first, matching
     /// [`crate::traversal::largest_component_mask`]). Empty for the empty
@@ -852,6 +906,58 @@ mod tests {
     }
 
     #[test]
+    fn edge_masked_diamond() {
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        // Drop edges 1 (a-c) and 3 (b-d): path a-b-c-d survives.
+        let alive = vec![true, false, true, false, true];
+        let (masked, map) = csr.edge_masked(&alive);
+        assert_eq!(masked.node_count(), 4);
+        assert_eq!(masked.edge_count(), 3);
+        assert_eq!(map, vec![EdgeId(0), EdgeId(2), EdgeId(4)]);
+        // Adjacency order is the filtered original order.
+        assert_eq!(masked.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(masked.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(masked.incident_edges(NodeId(1)), &[EdgeId(0), EdgeId(1)]);
+        assert_eq!(masked.bfs_distances(NodeId(0)), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn edge_masked_all_alive_is_identity() {
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let (masked, map) = csr.edge_masked(&vec![true; csr.edge_count()]);
+        assert_eq!(masked, csr);
+        assert_eq!(map, (0..5).map(EdgeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn edge_masked_all_dead_keeps_nodes() {
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let (masked, map) = csr.edge_masked(&vec![false; csr.edge_count()]);
+        assert_eq!(masked.node_count(), 4);
+        assert_eq!(masked.edge_count(), 0);
+        assert!(map.is_empty());
+        assert_eq!(masked.largest_component_size(), 1);
+    }
+
+    #[test]
+    fn edge_masked_parallel_edges() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        let csr = CsrGraph::from_graph(&g);
+        let (masked, map) = csr.edge_masked(&[false, true]);
+        assert_eq!(masked.edge_count(), 1);
+        assert_eq!(map, vec![EdgeId(1)]);
+        assert_eq!(masked.neighbors(a), &[b]);
+        assert_eq!(masked.incident_edges(a), &[EdgeId(0)]);
+    }
+
+    #[test]
     fn component_mask_matches_traversal() {
         let mut g: Graph<(), ()> = Graph::from_edges(5, vec![(0, 1, ())]);
         let a = NodeId(2);
@@ -984,6 +1090,31 @@ mod property_tests {
                     .filter(|&&d| d != UNREACHABLE)
                     .count();
                 prop_assert_eq!(scratch.reached().len(), finite);
+            }
+        }
+
+        /// `edge_masked` is exactly `edge_subgraph` + `from_graph`:
+        /// same arrays, same (renumbered) edge ids, and the new→old map
+        /// inverts the renumbering.
+        #[test]
+        fn edge_masked_matches_edge_subgraph(
+            n in 1usize..24,
+            pairs in proptest::collection::vec((0usize..24, 0usize..24), 0..60),
+            mask_bits in proptest::collection::vec(0usize..2, 60..61),
+        ) {
+            let g = multigraph(n, &pairs);
+            let csr = CsrGraph::from_graph(&g);
+            let alive: Vec<bool> =
+                (0..g.edge_count()).map(|e| mask_bits[e] == 1).collect();
+            let (masked, map) = csr.edge_masked(&alive);
+            let rebuilt = CsrGraph::from_graph(&g.edge_subgraph(&alive));
+            prop_assert_eq!(&masked, &rebuilt);
+            prop_assert_eq!(map.len(), masked.edge_count());
+            let mut expect = map.clone();
+            expect.sort_unstable_by_key(|e| e.0);
+            prop_assert_eq!(&expect, &map, "map ascends by old id");
+            for (new, old) in map.iter().enumerate() {
+                prop_assert!(alive[old.index()], "new edge {} maps to alive", new);
             }
         }
 

@@ -114,8 +114,10 @@ pub fn from_edge_list(text: &str) -> Result<Graph<(), f64>, ParseError> {
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HOTSNAP\0";
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added the per-edge f64
+/// column section (capacities, weights); version-1 files still load,
+/// with no edge f64 columns.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Errors from [`Snapshot::save`] / [`Snapshot::load`].
 #[derive(Debug)]
@@ -178,6 +180,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// node u32 columns: count u32, then per column name_len u32 + name + n × u32
 /// node f64 columns: same shape, n × f64 (bit patterns)
 /// edge u32 columns: same shape, (entries/2) × u32
+/// edge f64 columns: same shape, (entries/2) × f64 (version ≥ 2 only)
 /// checksum: u64 = FNV-1a over every preceding byte
 /// ```
 ///
@@ -194,6 +197,9 @@ pub struct Snapshot {
     pub node_f64: Vec<(String, Vec<f64>)>,
     /// Named per-edge u32 columns (e.g. link classes).
     pub edge_u32: Vec<(String, Vec<u32>)>,
+    /// Named per-edge f64 columns (e.g. capacities), indexed by
+    /// `EdgeId` like the u32 edge columns. Absent in version-1 files.
+    pub edge_f64: Vec<(String, Vec<f64>)>,
 }
 
 impl Snapshot {
@@ -204,6 +210,7 @@ impl Snapshot {
             node_u32: Vec::new(),
             node_f64: Vec::new(),
             edge_u32: Vec::new(),
+            edge_f64: Vec::new(),
         }
     }
 
@@ -219,6 +226,9 @@ impl Snapshot {
         }
         for (name, col) in &self.edge_u32 {
             assert_eq!(col.len(), entries / 2, "edge u32 column '{}' length", name);
+        }
+        for (name, col) in &self.edge_f64 {
+            assert_eq!(col.len(), entries / 2, "edge f64 column '{}' length", name);
         }
         let mut out = Vec::with_capacity(64 + 4 * (n + 1) + 8 * entries);
         out.extend_from_slice(SNAPSHOT_MAGIC);
@@ -254,6 +264,14 @@ impl Snapshot {
             }
         }
         write_cols(&mut out, &self.edge_u32);
+        out.extend_from_slice(&(self.edge_f64.len() as u32).to_le_bytes());
+        for (name, col) in &self.edge_f64 {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            for &v in col {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
         let sum = fnv1a(&out);
         out.extend_from_slice(&sum.to_le_bytes());
         out
@@ -339,6 +357,20 @@ impl Snapshot {
             let name = read_name(&mut pos)?;
             edge_u32.push((name, read_u32_vec(&mut pos, entries / 2)?));
         }
+        // Version 1 predates the edge f64 section; such files simply end
+        // after the edge u32 columns.
+        let mut edge_f64 = Vec::new();
+        if version >= 2 {
+            for _ in 0..read_u32(&mut pos)? {
+                let name = read_name(&mut pos)?;
+                let raw = take(&mut pos, 8 * (entries / 2))?;
+                let col: Vec<f64> = raw
+                    .chunks_exact(8)
+                    .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+                    .collect();
+                edge_f64.push((name, col));
+            }
+        }
         if pos != payload_len {
             return Err(corrupt("trailing bytes after last section"));
         }
@@ -347,6 +379,7 @@ impl Snapshot {
             node_u32,
             node_f64,
             edge_u32,
+            edge_f64,
         })
     }
 
@@ -461,7 +494,29 @@ mod tests {
         s.node_f64
             .push(("pos_x".into(), vec![0.0, 1.5, -2.25, f64::MAX, 1e-300]));
         s.edge_u32.push(("class".into(), vec![9, 8, 7, 6, 5]));
+        s.edge_f64
+            .push(("capacity".into(), vec![45.0, 155.0, 622.0, 2488.0, 9953.0]));
         s
+    }
+
+    /// Version-1 files (no edge f64 section) still load, with
+    /// `edge_f64` empty. Built by stripping the (empty) edge f64
+    /// section from a version-2 serialization and re-stamping
+    /// version + checksum.
+    #[test]
+    fn snapshot_reads_version_1() {
+        let mut s = sample_snapshot();
+        s.edge_f64.clear();
+        let v2 = s.to_bytes();
+        // Drop the 4-byte zero edge-f64 count and the 8-byte checksum.
+        let mut v1 = v2[..v2.len() - 12].to_vec();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let sum = super::fnv1a(&v1);
+        v1.extend_from_slice(&sum.to_le_bytes());
+        let back = Snapshot::from_bytes(&v1).unwrap();
+        assert_eq!(back, s);
+        // Re-saving writes the current version, not the one read.
+        assert_eq!(back.to_bytes(), v2);
     }
 
     #[test]

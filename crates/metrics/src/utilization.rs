@@ -120,6 +120,79 @@ pub fn load_share_on(loads: &[f64], mut select: impl FnMut(usize) -> bool) -> f6
     selected / total
 }
 
+/// Scalar summary of a link-*utilization* vector (load / capacity).
+/// Where [`LoadSummary`] describes raw counts, this is the capacitated
+/// view: how close each link runs to its provisioned limit, and how
+/// much of the network is past it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UtilizationSummary {
+    /// Number of links.
+    pub links: usize,
+    /// Maximum utilization (the TE objective).
+    pub max: f64,
+    /// Mean utilization over all links.
+    pub mean: f64,
+    /// Median utilization (nearest-rank).
+    pub p50: f64,
+    /// 90th-percentile utilization.
+    pub p90: f64,
+    /// 99th-percentile utilization.
+    pub p99: f64,
+    /// Number of links over capacity (utilization > 1).
+    pub overloaded_links: usize,
+    /// Fraction of links over capacity.
+    pub over_capacity_share: f64,
+}
+
+/// Per-link utilization `loads[e] / capacities[e]`. Capacities must be
+/// positive (a zero-capacity link has no meaningful utilization; mask
+/// it out of both vectors first).
+pub fn utilization(loads: &[f64], capacities: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        loads.len(),
+        capacities.len(),
+        "loads/capacities length mismatch"
+    );
+    assert!(
+        capacities.iter().all(|&c| c > 0.0),
+        "capacities must be positive"
+    );
+    loads.iter().zip(capacities).map(|(&l, &c)| l / c).collect()
+}
+
+/// Computes the [`UtilizationSummary`] of `loads` against `capacities`
+/// (all zeros for the empty vector). See [`utilization`] for the
+/// elementwise vector.
+pub fn utilization_summary(loads: &[f64], capacities: &[f64]) -> UtilizationSummary {
+    let utils = utilization(loads, capacities);
+    let links = utils.len();
+    if links == 0 {
+        return UtilizationSummary {
+            links: 0,
+            max: 0.0,
+            mean: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            overloaded_links: 0,
+            over_capacity_share: 0.0,
+        };
+    }
+    let mut sorted = utils.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let overloaded = utils.iter().filter(|&&u| u > 1.0).count();
+    UtilizationSummary {
+        links,
+        max: sorted[links - 1],
+        mean: sorted.iter().sum::<f64>() / links as f64,
+        p50: percentile(&sorted, 0.50),
+        p90: percentile(&sorted, 0.90),
+        p99: percentile(&sorted, 0.99),
+        overloaded_links: overloaded,
+        over_capacity_share: overloaded as f64 / links as f64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +239,35 @@ mod tests {
         for pair in ccdf.windows(2) {
             assert!(pair[0].1 >= pair[1].1, "CCDF must not increase");
         }
+    }
+
+    #[test]
+    fn utilization_summary_of_known_vector() {
+        let loads = [30.0, 90.0, 120.0, 0.0];
+        let caps = [100.0, 100.0, 100.0, 100.0];
+        assert_eq!(utilization(&loads, &caps), vec![0.3, 0.9, 1.2, 0.0]);
+        let s = utilization_summary(&loads, &caps);
+        assert_eq!(s.links, 4);
+        assert_eq!(s.max, 1.2);
+        assert!((s.mean - 0.6).abs() < 1e-12);
+        assert_eq!(s.p50, 0.3);
+        assert_eq!(s.p99, 1.2);
+        assert_eq!(s.overloaded_links, 1);
+        assert!((s.over_capacity_share - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_summary_empty_is_zero() {
+        let s = utilization_summary(&[], &[]);
+        assert_eq!(s.links, 0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.over_capacity_share, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities must be positive")]
+    fn utilization_rejects_zero_capacity() {
+        utilization(&[1.0], &[0.0]);
     }
 
     #[test]

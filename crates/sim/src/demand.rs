@@ -343,6 +343,73 @@ impl OdDemand for DemandMatrix {
     }
 }
 
+/// Pointwise sum of two demand sources over the same node set:
+/// `demand(i, j) = base(i, j) + overlay(i, j)`. The flash-crowd
+/// building block — a baseline gravity matrix plus a rank-biased surge
+/// aimed at the hubs — without materializing either component.
+///
+/// `gather_row` merges the two components' ascending-`dst` rows,
+/// performing exactly one addition for each destination present in
+/// both, so gathered amounts equal the point queries bit for bit.
+pub struct SumDemand<'a> {
+    base: &'a dyn OdDemand,
+    overlay: &'a dyn OdDemand,
+}
+
+impl<'a> SumDemand<'a> {
+    /// Overlays `overlay` on `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two components cover different node counts.
+    pub fn new(base: &'a dyn OdDemand, overlay: &'a dyn OdDemand) -> SumDemand<'a> {
+        assert_eq!(
+            base.node_count(),
+            overlay.node_count(),
+            "summed demands must cover the same nodes"
+        );
+        SumDemand { base, overlay }
+    }
+}
+
+impl OdDemand for SumDemand<'_> {
+    fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    #[inline]
+    fn demand(&self, src: usize, dst: usize) -> f64 {
+        self.base.demand(src, dst) + self.overlay.demand(src, dst)
+    }
+
+    fn gather_row(&self, src: usize, out: &mut Vec<(u32, f64)>) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        self.base.gather_row(src, &mut a);
+        self.overlay.gather_row(src, &mut b);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((a[i].0, a[i].1 + b[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +551,65 @@ mod tests {
         assert_eq!(one.demand(0, 0), 0.0);
         let zeros = DemandMatrix::from_masses(vec![0.0; 4], None, 0.0, 1.0, 10.0);
         assert_eq!(zeros.total(), 0.0);
+    }
+
+    #[test]
+    fn sum_demand_matches_pointwise_sum() {
+        let csr = star();
+        let base = DemandMatrix::build(
+            &csr,
+            None,
+            &cfg(DemandModel::Gravity {
+                distance_exponent: 0.0,
+            }),
+        );
+        let surge =
+            DemandMatrix::build(&csr, None, &cfg(DemandModel::RankBiased { exponent: 1.0 }));
+        let sum = SumDemand::new(&base, &surge);
+        assert_eq!(sum.node_count(), 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                let want = base.demand(i, j) + surge.demand(i, j);
+                assert_eq!(sum.demand(i, j).to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sum_demand_gather_merges_rows_bitwise() {
+        // Disjoint + overlapping rows: base lives on nodes {1, 2},
+        // surge on {2, 3}; node 2 is in both, 1 and 3 in exactly one.
+        let base = DemandMatrix::from_masses(vec![0.0, 1.0, 2.0, 0.0, 1.0], None, 0.0, 1.0, 30.0);
+        let surge = DemandMatrix::from_masses(vec![0.0, 0.0, 1.0, 3.0, 1.0], None, 0.0, 1.0, 50.0);
+        let sum = SumDemand::new(&base, &surge);
+        for src in 0..5 {
+            let mut merged = Vec::new();
+            sum.gather_row(src, &mut merged);
+            // The default per-pair sweep over `demand` is the reference.
+            let mut reference = Vec::new();
+            for dst in 0..5 {
+                if dst == src {
+                    continue;
+                }
+                let amount = sum.demand(src, dst);
+                if amount > 0.0 {
+                    reference.push((dst as u32, amount));
+                }
+            }
+            assert_eq!(merged.len(), reference.len(), "src {}", src);
+            for (got, want) in merged.iter().zip(&reference) {
+                assert_eq!(got.0, want.0, "src {}", src);
+                assert_eq!(got.1.to_bits(), want.1.to_bits(), "src {}", src);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same nodes")]
+    fn sum_demand_rejects_mismatched_sizes() {
+        let a = DemandMatrix::from_masses(vec![1.0; 4], None, 0.0, 1.0, 10.0);
+        let b = DemandMatrix::from_masses(vec![1.0; 5], None, 0.0, 1.0, 10.0);
+        SumDemand::new(&a, &b);
     }
 
     #[test]

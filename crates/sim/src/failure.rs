@@ -8,7 +8,9 @@
 //! at modest stretch.
 
 use crate::routing::{route, Demand, IgpMetric};
-use hot_graph::graph::{EdgeId, Graph};
+use hot_graph::csr::{CsrBfsTree, CsrGraph};
+use hot_graph::graph::{EdgeId, Graph, NodeId};
+use std::collections::BTreeMap;
 
 /// Impact of one link's failure.
 #[derive(Clone, Debug)]
@@ -57,13 +59,137 @@ impl FailureSummary {
     }
 }
 
+/// The per-cut numbers the summary consumes, produced either by the
+/// cached hop-count fast path or the per-cut `route` fallback.
+struct CutOutcome {
+    stranded: f64,
+    routed_traffic: f64,
+    traffic_hops: f64,
+    max_load_after: f64,
+}
+
+/// Shared state for hop-count cuts: the demand gather (out-of-range
+/// amounts plus per-source groups) and every source's intact-graph BFS
+/// tree are computed once. A cut only invalidates the trees that used
+/// the failed edge — `edge_users` records which — so each simulated
+/// failure re-runs BFS for those sources alone, on an edge-masked view,
+/// and replays the cached trees for everyone else. Because
+/// [`CsrGraph::edge_masked`] equals `edge_subgraph` + `from_graph` edge
+/// ids included, and removing a non-tree edge cannot change a BFS
+/// first-discovery tree, every path — and therefore every load, hop,
+/// and stranded sum, accumulated in the same order — is bit-identical
+/// to the full per-cut re-route this replaces.
+struct HopCutCache<'a> {
+    csr: CsrGraph,
+    /// Sum of demands with endpoints outside the graph, which every cut
+    /// reports as stranded (matching `route`'s accounting).
+    base_stranded: f64,
+    /// In-range demands grouped by source, ascending — the order the
+    /// flat `route` accumulates in.
+    by_src: Vec<(u32, Vec<&'a Demand>)>,
+    /// Intact-graph BFS tree per `by_src` entry.
+    trees: Vec<CsrBfsTree>,
+    /// For each edge, the sources (ascending) whose baseline tree uses
+    /// it as a parent edge.
+    edge_users: Vec<Vec<u32>>,
+    scratch: CsrBfsTree,
+    alive: Vec<bool>,
+}
+
+impl<'a> HopCutCache<'a> {
+    fn new<N, E>(g: &Graph<N, E>, demands: &'a [Demand]) -> HopCutCache<'a> {
+        let csr = CsrGraph::from_graph(g);
+        let n = csr.node_count();
+        let mut out_of_range = 0.0f64;
+        let mut groups: BTreeMap<u32, Vec<&Demand>> = BTreeMap::new();
+        for d in demands {
+            if d.src.index() >= n || d.dst.index() >= n {
+                out_of_range += d.amount;
+            } else {
+                groups.entry(d.src.0).or_default().push(d);
+            }
+        }
+        let by_src: Vec<(u32, Vec<&Demand>)> = groups.into_iter().collect();
+        let mut edge_users = vec![Vec::new(); csr.edge_count()];
+        let mut trees = Vec::with_capacity(by_src.len());
+        for (src, _) in &by_src {
+            let tree = csr.bfs_tree(NodeId(*src));
+            for &v in tree.visit_order() {
+                if let Some((_, e)) = tree.parent(v) {
+                    edge_users[e.index()].push(*src);
+                }
+            }
+            trees.push(tree);
+        }
+        HopCutCache {
+            base_stranded: out_of_range,
+            scratch: CsrBfsTree::sized(n),
+            alive: vec![true; csr.edge_count()],
+            csr,
+            by_src,
+            trees,
+            edge_users,
+        }
+    }
+
+    fn fail(&mut self, link: EdgeId) -> CutOutcome {
+        self.alive[link.index()] = false;
+        let (masked, new_to_old) = self.csr.edge_masked(&self.alive);
+        self.alive[link.index()] = true;
+        let users = &self.edge_users[link.index()];
+        let mut loads = vec![0.0f64; self.csr.edge_count()];
+        let mut stranded = self.base_stranded;
+        let mut traffic_hops = 0.0;
+        let mut routed_traffic = 0.0;
+        for (i, (src, group)) in self.by_src.iter().enumerate() {
+            let affected = users.binary_search(src).is_ok();
+            if affected {
+                masked.bfs_tree_into(NodeId(*src), &mut self.scratch);
+            }
+            let tree = if affected {
+                &self.scratch
+            } else {
+                &self.trees[i]
+            };
+            for d in group {
+                match tree.edge_path_to(d.dst) {
+                    Some(path) => {
+                        for e in &path {
+                            // The cached trees carry original edge ids;
+                            // the masked re-BFS carries masked ids.
+                            let orig = if affected {
+                                new_to_old[e.index()].index()
+                            } else {
+                                e.index()
+                            };
+                            loads[orig] += d.amount;
+                        }
+                        traffic_hops += d.amount * path.len() as f64;
+                        routed_traffic += d.amount;
+                    }
+                    None => stranded += d.amount,
+                }
+            }
+        }
+        CutOutcome {
+            stranded,
+            routed_traffic,
+            traffic_hops,
+            max_load_after: loads.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
 /// Simulates every loaded link's failure independently.
 ///
 /// `metric`/`weight` must match the routing that produced normal
-/// operation (they are re-run internally). Runtime is one full routing
-/// pass per loaded link — fine for backbone-scale graphs. Degenerate
-/// inputs (no links, no demands, endpoints outside the graph) produce a
-/// trivial summary instead of panicking.
+/// operation (they are re-run internally). Hop-count cuts share one
+/// demand gather and a BFS-forest cache across all failures, re-running
+/// BFS only for the sources whose intact-graph tree used the failed
+/// edge (see [`HopCutCache`]); the weighted metric falls back to one
+/// full routing pass per loaded link. Degenerate inputs (no links, no
+/// demands, endpoints outside the graph) produce a trivial summary
+/// instead of panicking.
 pub fn single_link_failures<N: Clone, E: Clone>(
     g: &Graph<N, E>,
     demands: &[Demand],
@@ -76,6 +202,10 @@ pub fn single_link_failures<N: Clone, E: Clone>(
     let baseline = route(g, demands, metric, weight);
     let baseline_max = baseline.max_load();
     let total_traffic: f64 = demands.iter().map(|d| d.amount).sum();
+    let mut hop_cache = match metric {
+        IgpMetric::HopCount => Some(HopCutCache::new(g, demands)),
+        IgpMetric::Weighted => None,
+    };
     let mut impacts = Vec::new();
     let mut stranded_failures = 0usize;
     let mut worst_stranded = 0.0f64;
@@ -86,27 +216,39 @@ pub fn single_link_failures<N: Clone, E: Clone>(
         if baseline.link_load[link.index()] <= 0.0 {
             continue;
         }
-        // Fail the link.
-        let mut keep = vec![true; g.edge_count()];
-        keep[link.index()] = false;
-        let failed = g.edge_subgraph(&keep);
-        // Indexing note: edge_subgraph preserves node ids but renumbers
-        // edges; demands reference nodes only, so routing is unaffected.
-        let outcome = route(&failed, demands, metric, |_, w| {
-            // EdgeIds differ in the subgraph; the weight closure gets the
-            // subgraph's ids, which we cannot map back — so only
-            // annotation-derived weights are meaningful here. All
-            // workspace weights are annotation-derived.
-            weight(EdgeId(0), w)
-        });
+        let outcome = match &mut hop_cache {
+            Some(cache) => cache.fail(link),
+            None => {
+                // Fail the link and re-route everything from scratch.
+                let mut keep = vec![true; g.edge_count()];
+                keep[link.index()] = false;
+                let failed = g.edge_subgraph(&keep);
+                // Indexing note: edge_subgraph preserves node ids but
+                // renumbers edges; demands reference nodes only, so
+                // routing is unaffected.
+                let o = route(&failed, demands, metric, |_, w| {
+                    // EdgeIds differ in the subgraph; the weight closure
+                    // gets the subgraph's ids, which we cannot map back —
+                    // so only annotation-derived weights are meaningful
+                    // here. All workspace weights are annotation-derived.
+                    weight(EdgeId(0), w)
+                });
+                CutOutcome {
+                    stranded: o.unrouted.iter().map(|d| d.amount).sum(),
+                    routed_traffic: o.routed_traffic,
+                    traffic_hops: o.traffic_hops,
+                    max_load_after: o.max_load(),
+                }
+            }
+        };
         let affected = baseline.link_load[link.index()];
-        let stranded: f64 = outcome.unrouted.iter().map(|d| d.amount).sum();
+        let stranded = outcome.stranded;
         let stretch = if outcome.routed_traffic > 0.0 && baseline.routed_traffic > 0.0 {
-            outcome.mean_hops() / baseline.mean_hops()
+            (outcome.traffic_hops / outcome.routed_traffic) / baseline.mean_hops()
         } else {
             1.0
         };
-        let max_load_after = outcome.max_load();
+        let max_load_after = outcome.max_load_after;
         worst_max_after = worst_max_after.max(max_load_after);
         if stranded > 0.0 {
             stranded_failures += 1;
@@ -241,6 +383,142 @@ mod tests {
             |_, w| *w,
         );
         assert!(s.max_load_amplification > 1.0);
+    }
+
+    /// Regression for the BFS-forest cache: the cached fast path must
+    /// reproduce the old algorithm — one full `route` on an
+    /// `edge_subgraph` per loaded link — bit for bit, on a meshy
+    /// multigraph with cuts, detours, out-of-range endpoints, and a
+    /// disconnected pair. Every impact field and summary scalar is
+    /// compared on exact bits.
+    #[test]
+    fn cached_cuts_match_full_reroute_bitwise() {
+        // Ladder + chords + a stub island (node 29 attached by a cut
+        // edge, node 30 isolated): mixes re-routable and stranding cuts.
+        let n = 31usize;
+        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..28 {
+            edges.push((i, i + 1, 1.0 + (i % 3) as f64));
+        }
+        for i in (0..24).step_by(4) {
+            edges.push((i, i + 5, 2.0));
+        }
+        for i in (1..20).step_by(7) {
+            edges.push((i, i + 9, 1.5));
+        }
+        edges.push((3, 29, 1.0)); // cut edge to a leaf
+        let g: Graph<(), f64> = Graph::from_edges(n, edges);
+        let mut demands = vec![d(0, 40, 1.0)]; // out-of-range endpoint
+        demands.push(d(5, 30, 2.0)); // disconnected at baseline
+        for s in 0..12 {
+            for t in [14, 22, 28, 29] {
+                demands.push(d(s, t, 1.0 + ((s * 5 + t) % 4) as f64));
+            }
+        }
+        for metric in [IgpMetric::HopCount, IgpMetric::Weighted] {
+            let fast = single_link_failures(&g, &demands, metric, |_, w| *w);
+            let slow = reference_single_link_failures(&g, &demands, metric, |_, w| *w);
+            assert_eq!(fast.impacts.len(), slow.impacts.len());
+            assert!(!fast.impacts.is_empty());
+            for (a, b) in fast.impacts.iter().zip(&slow.impacts) {
+                assert_eq!(a.link, b.link);
+                for (x, y) in [
+                    (a.affected_traffic, b.affected_traffic),
+                    (a.stranded_traffic, b.stranded_traffic),
+                    (a.stretch, b.stretch),
+                    (a.max_load_after, b.max_load_after),
+                ] {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "link {:?}: {} vs {}",
+                        a.link,
+                        x,
+                        y
+                    );
+                }
+            }
+            for (x, y) in [
+                (fast.stranding_fraction, slow.stranding_fraction),
+                (fast.worst_stranded_fraction, slow.worst_stranded_fraction),
+                (fast.mean_stretch, slow.mean_stretch),
+                (fast.max_load_amplification, slow.max_load_amplification),
+            ] {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// The pre-cache algorithm, verbatim: one full routing pass over an
+    /// `edge_subgraph` per loaded link.
+    fn reference_single_link_failures<N: Clone, E: Clone>(
+        g: &Graph<N, E>,
+        demands: &[Demand],
+        metric: IgpMetric,
+        weight: impl Fn(EdgeId, &E) -> f64 + Copy,
+    ) -> FailureSummary {
+        if g.edge_count() == 0 || demands.is_empty() {
+            return FailureSummary::trivial();
+        }
+        let baseline = route(g, demands, metric, weight);
+        let baseline_max = baseline.max_load();
+        let total_traffic: f64 = demands.iter().map(|d| d.amount).sum();
+        let mut impacts = Vec::new();
+        let mut stranded_failures = 0usize;
+        let mut worst_stranded = 0.0f64;
+        let mut worst_max_after = 0.0f64;
+        let mut stretch_sum = 0.0;
+        let mut stretch_count = 0usize;
+        for link in g.edge_ids() {
+            if baseline.link_load[link.index()] <= 0.0 {
+                continue;
+            }
+            let mut keep = vec![true; g.edge_count()];
+            keep[link.index()] = false;
+            let failed = g.edge_subgraph(&keep);
+            let outcome = route(&failed, demands, metric, |_, w| weight(EdgeId(0), w));
+            let affected = baseline.link_load[link.index()];
+            let stranded: f64 = outcome.unrouted.iter().map(|d| d.amount).sum();
+            let stretch = if outcome.routed_traffic > 0.0 && baseline.routed_traffic > 0.0 {
+                outcome.mean_hops() / baseline.mean_hops()
+            } else {
+                1.0
+            };
+            let max_load_after = outcome.max_load();
+            worst_max_after = worst_max_after.max(max_load_after);
+            if stranded > 0.0 {
+                stranded_failures += 1;
+                if total_traffic > 0.0 {
+                    worst_stranded = worst_stranded.max(stranded / total_traffic);
+                }
+            } else {
+                stretch_sum += stretch;
+                stretch_count += 1;
+            }
+            impacts.push(FailureImpact {
+                link,
+                affected_traffic: affected,
+                stranded_traffic: stranded,
+                stretch,
+                max_load_after,
+            });
+        }
+        let simulated = impacts.len().max(1);
+        FailureSummary {
+            stranding_fraction: stranded_failures as f64 / simulated as f64,
+            worst_stranded_fraction: worst_stranded,
+            mean_stretch: if stretch_count > 0 {
+                stretch_sum / stretch_count as f64
+            } else {
+                1.0
+            },
+            max_load_amplification: if !impacts.is_empty() && baseline_max > 0.0 {
+                worst_max_after / baseline_max
+            } else {
+                1.0
+            },
+            impacts,
+        }
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //! shortest paths (per-path, so parallel equal-length paths through a
 //! high-σ neighbor carry proportionally more), via the same reverse
 //! sweep with Brandes-style path counts.
+//!
+//! [`link_loads_weighted`] generalizes ECMP with per-link multiplicative
+//! weights (a path's weight is the product of its edge weights; flows
+//! split proportionally to weighted path counts). It is the mechanism
+//! under the TE loop in [`crate::te`]: de-weighting a hot link shifts
+//! traffic onto parallel shortest paths without changing any path
+//! length. With all weights 1.0 it is **bit-identical** to
+//! [`RoutePolicy::Ecmp`] (every weighted product multiplies by exactly
+//! 1.0), and dyadic weights (the TE loop halves) keep the splits exact
+//! in floating point.
 
 use crate::demand::OdDemand;
 use crate::routing::Demand;
@@ -127,6 +137,52 @@ pub fn link_loads_multi(
     policy: RoutePolicy,
     threads: usize,
 ) -> Vec<TrafficLoads> {
+    link_loads_inner(csr, demands, policy, None, threads)
+}
+
+/// [`link_loads_multi`] under weighted ECMP: each flow splits over all
+/// shortest paths proportionally to *weighted* path counts, where a
+/// path's weight is the product of its links' entries in
+/// `link_weights` (indexed by `EdgeId`, all positive and finite).
+/// Unit weights reproduce [`RoutePolicy::Ecmp`] bit for bit; see the
+/// module docs. Output is bit-identical at every thread count.
+pub fn link_loads_weighted_multi(
+    csr: &CsrGraph,
+    demands: &[&dyn OdDemand],
+    link_weights: &[f64],
+    threads: usize,
+) -> Vec<TrafficLoads> {
+    assert_eq!(
+        link_weights.len(),
+        csr.edge_count(),
+        "one weight per link required"
+    );
+    assert!(
+        link_weights.iter().all(|&w| w.is_finite() && w > 0.0),
+        "link weights must be positive and finite"
+    );
+    link_loads_inner(csr, demands, RoutePolicy::Ecmp, Some(link_weights), threads)
+}
+
+/// [`link_loads_weighted_multi`] for a single demand model.
+pub fn link_loads_weighted(
+    csr: &CsrGraph,
+    demand: &dyn OdDemand,
+    link_weights: &[f64],
+    threads: usize,
+) -> TrafficLoads {
+    link_loads_weighted_multi(csr, &[demand], link_weights, threads)
+        .pop()
+        .expect("one model in, one result out")
+}
+
+fn link_loads_inner(
+    csr: &CsrGraph,
+    demands: &[&dyn OdDemand],
+    policy: RoutePolicy,
+    weights: Option<&[f64]>,
+    threads: usize,
+) -> Vec<TrafficLoads> {
     let n = csr.node_count();
     let links = csr.edge_count();
     for dem in demands {
@@ -163,10 +219,10 @@ pub fn link_loads_multi(
                 }
                 csr.bfs_tree_into(hot_graph::graph::NodeId(s as u32), &mut scratch.tree);
                 if policy == RoutePolicy::Ecmp {
-                    count_paths(csr, &scratch.tree, &mut scratch.sigma);
+                    count_paths(csr, &scratch.tree, &mut scratch.sigma, weights);
                 }
                 for (m, out) in partial.iter_mut().enumerate() {
-                    accumulate_source(csr, scratch, m, policy, out);
+                    accumulate_source(csr, scratch, m, policy, weights, out);
                 }
             }
             partial
@@ -193,17 +249,31 @@ pub fn link_loads(
 }
 
 /// Brandes-style shortest-path counts from the tree's source, into
-/// `sigma` (entries outside the reached set are never read).
-fn count_paths(csr: &CsrGraph, tree: &CsrBfsTree, sigma: &mut [f64]) {
+/// `sigma` (entries outside the reached set are never read). With
+/// `weights`, σ counts each path with the product of its edge weights;
+/// unit weights multiply by exactly 1.0, so the unweighted numbers are
+/// reproduced bit for bit.
+fn count_paths(csr: &CsrGraph, tree: &CsrBfsTree, sigma: &mut [f64], weights: Option<&[f64]>) {
     for &v in tree.visit_order() {
         sigma[v.index()] = 0.0;
     }
     sigma[tree.source.index()] = 1.0;
     for &v in tree.visit_order() {
         let next = tree.dist[v.index()] + 1;
-        for &u in csr.neighbors(v) {
-            if tree.dist[u.index()] == next {
-                sigma[u.index()] += sigma[v.index()];
+        match weights {
+            None => {
+                for &u in csr.neighbors(v) {
+                    if tree.dist[u.index()] == next {
+                        sigma[u.index()] += sigma[v.index()];
+                    }
+                }
+            }
+            Some(w) => {
+                for (&u, &e) in csr.neighbors(v).iter().zip(csr.incident_edges(v)) {
+                    if tree.dist[u.index()] == next {
+                        sigma[u.index()] += sigma[v.index()] * w[e.index()];
+                    }
+                }
             }
         }
     }
@@ -218,6 +288,7 @@ fn accumulate_source(
     scratch: &mut EngineScratch,
     m: usize,
     policy: RoutePolicy,
+    weights: Option<&[f64]>,
     out: &mut TrafficLoads,
 ) {
     let EngineScratch {
@@ -266,7 +337,14 @@ fn accumulate_source(
                 for (&u, &e) in csr.neighbors(v).iter().zip(csr.incident_edges(v)) {
                     let du = tree.dist[u.index()];
                     if du != UNREACHABLE && du + 1 == dv {
-                        let c = share * sigma[u.index()];
+                        // Weighted: the σ entering v through edge e is
+                        // σ[u]·w(e), so that is e's share of the split.
+                        // Unweighted multiplies by exactly 1.0 — the
+                        // two cases are bit-identical at unit weights.
+                        let c = match weights {
+                            None => share * sigma[u.index()],
+                            Some(w) => share * (sigma[u.index()] * w[e.index()]),
+                        };
                         out.link_load[e.index()] += c;
                         acc[u.index()] += c;
                     }
@@ -490,6 +568,66 @@ mod tests {
                 assert_eq!(reference.traffic_hops.to_bits(), got.traffic_hops.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn unit_weights_reproduce_ecmp_bitwise() {
+        let g: Graph<(), ()> = Graph::from_edges(
+            9,
+            (0..8)
+                .map(|i| (i, i + 1, ()))
+                .chain([(0, 4, ()), (2, 7, ()), (1, 6, ())])
+                .collect::<Vec<_>>(),
+        );
+        let csr = CsrGraph::from_graph(&g);
+        let dem = DemandMatrix::build(
+            &csr,
+            None,
+            &DemandConfig {
+                model: DemandModel::Gravity {
+                    distance_exponent: 0.0,
+                },
+                mass_jitter: 0.3,
+                seed: 11,
+                ..DemandConfig::default()
+            },
+        );
+        let plain = link_loads(&csr, &dem, RoutePolicy::Ecmp, 3);
+        for threads in [1, 3, 8] {
+            let unit = link_loads_weighted(&csr, &dem, &vec![1.0; csr.edge_count()], threads);
+            assert_eq!(plain, unit, "unit weights at {} threads", threads);
+        }
+        // A uniform dyadic rescale (all 0.5) changes no split either:
+        // every σ scales by an exact power of two that cancels.
+        let halved = link_loads_weighted(&csr, &dem, &vec![0.5; csr.edge_count()], 2);
+        assert_eq!(plain, halved);
+    }
+
+    #[test]
+    fn weighted_split_follows_weights() {
+        // Square: paths 0-1-3 (edges 0, 2) and 0-2-3 (edges 1, 3).
+        let g: Graph<(), ()> =
+            Graph::from_edges(4, vec![(0, 1, ()), (0, 2, ()), (1, 3, ()), (2, 3, ())]);
+        let csr = CsrGraph::from_graph(&g);
+        let mut d = vec![0.0; 16];
+        d[3] = 4.0;
+        let dense = Dense { n: 4, d };
+        // Weight 3 on edge 0 makes the left path carry 3 of every 4.
+        let loads = link_loads_weighted(&csr, &dense, &[3.0, 1.0, 1.0, 1.0], 1);
+        assert_eq!(loads.link_load, vec![3.0, 1.0, 3.0, 1.0]);
+        assert_eq!(loads.routed_traffic, 4.0);
+        assert_eq!(loads.mean_hops(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn weighted_rejects_zero_weight() {
+        let (_, csr) = path4();
+        let dense = Dense {
+            n: 4,
+            d: vec![0.0; 16],
+        };
+        link_loads_weighted(&csr, &dense, &[1.0, 0.0, 1.0], 1);
     }
 
     #[test]

@@ -107,6 +107,7 @@ golden! {
     golden_e15_traffic_load => "e15",
     golden_e16_traffic_failure => "e16",
     golden_e17_policy_routing => "e17",
+    golden_e18_te_cascade => "e18",
 }
 
 /// The registry and the golden directory must stay in one-to-one
@@ -142,10 +143,11 @@ fn golden_directory_matches_registry() {
 /// sweep is exercised in CI (`expctl --all --threads 1` vs `8` diffed
 /// byte-for-byte); here the scenarios that use the parallel kernels —
 /// including the batched traffic engine behind E15/E16 and the batched
-/// valley-free propagation behind E17 — run at 1 and 4 workers.
+/// valley-free propagation behind E17 and the capacitated
+/// TE/cascade loops behind E18 — run at 1 and 4 workers.
 #[test]
 fn thread_count_does_not_change_reports() {
-    for id in ["e1", "e10", "e12", "e15", "e16", "e17"] {
+    for id in ["e1", "e10", "e12", "e15", "e16", "e17", "e18"] {
         let spec = registry::find(id).expect("registered");
         let serial = (spec.run)(ctx(1)).to_json().pretty();
         let parallel = (spec.run)(ctx(4)).to_json().pretty();
@@ -192,7 +194,7 @@ fn snapshot_cache_replays_identical_bytes() {
 /// visible in the structured output.
 #[test]
 fn degenerate_params_skip_cleanly() {
-    use hot_exp::scenarios::{e1, e15, e16, e17, e5};
+    use hot_exp::scenarios::{e1, e15, e16, e17, e18, e5};
     let report = e15::run(
         &e15::Params {
             glp_n: 3,
@@ -257,6 +259,24 @@ fn degenerate_params_skip_cleanly() {
         &e17::Params {
             n_isps: 1,
             ..e17::Params::golden()
+        },
+        ctx(1),
+    );
+    assert!(matches!(report.status, ExpStatus::Skipped { .. }));
+    // A sub-unity headroom or a zero threshold must skip the
+    // capacitated scenario, not trip the provisioning asserts.
+    let report = e18::run(
+        &e18::Params {
+            headroom: 0.5,
+            ..e18::Params::golden()
+        },
+        ctx(1),
+    );
+    assert!(matches!(report.status, ExpStatus::Skipped { .. }));
+    let report = e18::run(
+        &e18::Params {
+            cascade_threshold: 0.0,
+            ..e18::Params::golden()
         },
         ctx(1),
     );

@@ -244,3 +244,111 @@ proptest! {
         }
     }
 }
+
+/// Integer-valued dense demand for the capacitated properties: exact
+/// f64 sums in any association order, zeros included.
+struct CascadeDemand {
+    n: usize,
+}
+
+impl OdDemand for CascadeDemand {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+    fn demand(&self, src: usize, dst: usize) -> f64 {
+        if src == dst {
+            0.0
+        } else {
+            ((src * 7 + dst * 13) % 5) as f64
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// The cascade's structural guarantees hold for *all* parameters:
+    /// it reaches a fixed point in at most |E| failing rounds plus the
+    /// fixed point itself, surviving capacity never increases, every
+    /// round conserves the offered demand exactly (routed + stranded ==
+    /// offered, bit for bit on integer demands), and the final alive
+    /// mask matches the recorded capacity and failure counts.
+    #[test]
+    fn cascade_terminates_conserves_and_sheds_monotonically(
+        n in 2usize..16,
+        pairs in proptest::collection::vec((0usize..16, 0usize..16), 1..40),
+        cap_scale in 0.5f64..40.0,
+        threads in 1usize..5,
+    ) {
+        use hotgen::sim::cascade::{cascade, CascadeConfig};
+        let csr = demand_fixture(n, &pairs);
+        let dem = CascadeDemand { n };
+        let caps: Vec<f64> = (0..csr.edge_count())
+            .map(|e| cap_scale * ((e % 5) + 1) as f64)
+            .collect();
+        let out = cascade(&csr, &dem, &caps, &CascadeConfig::default(), threads);
+        prop_assert!(out.converged, "default max_rounds never binds");
+        prop_assert!(
+            out.rounds.len() <= csr.edge_count() + 1,
+            "terminates in <= |E| failing rounds + the fixed point"
+        );
+        let offered: f64 = (0..n)
+            .map(|s| (0..n).map(|d| dem.demand(s, d)).sum::<f64>())
+            .sum();
+        let mut prev_cap = f64::INFINITY;
+        let mut failed_sum = 0;
+        for r in &out.rounds {
+            prop_assert_eq!(
+                (r.routed_traffic + r.stranded_traffic).to_bits(),
+                offered.to_bits(),
+                "round {} conserves the offered demand", r.round
+            );
+            prop_assert!(r.surviving_capacity <= prev_cap, "capacity never recovers");
+            prev_cap = r.surviving_capacity;
+            failed_sum += r.failed;
+            prop_assert_eq!(failed_sum, r.failed_total);
+        }
+        let last = out.final_round();
+        prop_assert_eq!(last.failed, 0, "the fixed point fails nothing");
+        let alive_cap: f64 = out
+            .alive
+            .iter()
+            .zip(&caps)
+            .filter(|&(&a, _)| a)
+            .map(|(_, &c)| c)
+            .sum();
+        prop_assert_eq!(alive_cap.to_bits(), last.surviving_capacity.to_bits());
+        prop_assert_eq!(
+            out.alive.iter().filter(|&&a| !a).count(),
+            last.failed_total
+        );
+    }
+
+    /// The TE loop's accept-only-if-strictly-better rule makes its
+    /// max-utilization trajectory strictly decreasing after the
+    /// baseline entry, for all graphs, capacities, and thread counts —
+    /// and it never tries more candidates than its round budget.
+    #[test]
+    fn te_trajectory_is_strictly_monotone(
+        n in 2usize..14,
+        pairs in proptest::collection::vec((0usize..14, 0usize..14), 1..30),
+        cap_scale in 0.5f64..40.0,
+        threads in 1usize..5,
+    ) {
+        use hotgen::sim::te::{tune_weights, TeConfig};
+        let csr = demand_fixture(n, &pairs);
+        let dem = CascadeDemand { n };
+        let caps: Vec<f64> = (0..csr.edge_count())
+            .map(|e| cap_scale * ((e % 4) + 1) as f64)
+            .collect();
+        let cfg = TeConfig { max_rounds: 5, ..TeConfig::default() };
+        let out = tune_weights(&csr, &dem, &caps, &cfg, threads);
+        prop_assert!(!out.trajectory.is_empty());
+        prop_assert!(out.trajectory.len() <= cfg.max_rounds + 1);
+        for w in out.trajectory.windows(2) {
+            prop_assert!(w[1] < w[0], "strictly decreasing: {:?}", out.trajectory);
+        }
+        prop_assert!(out.final_max_util() <= out.initial_max_util());
+        prop_assert!(out.rounds_tried <= cfg.max_rounds);
+        prop_assert!(out.weights.iter().all(|&w| w > 0.0 && w <= 1.0));
+    }
+}

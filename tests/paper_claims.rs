@@ -470,3 +470,82 @@ fn claim_e17_policy_inflation_differs_by_generator() {
     let hot_row = row("hot(internet)");
     assert_eq!(hot_row.class_counts[0], p.tier1_count);
 }
+
+/// E18 / §3: "robust yet fragile", capacitated edition. The designed
+/// ISP provisions cable tiers against its anticipated busy-hour
+/// envelope, so a rank-biased flash crowd lands inside the engineering
+/// margin and no link overloads; the degree-grown topologies spend a
+/// comparable capital budget proportional to degree and their hub
+/// trunks cascade. Amplification (surge peak utilization over baseline
+/// peak) must rank HOT strictly below the BA hub topology — the
+/// acceptance criterion for the capacitated subsystem.
+#[test]
+fn claim_e18_hot_degrades_gracefully_vs_hub_cascade() {
+    use hot_exp::scenarios::e18;
+    let p = e18::Params::golden();
+    let ctx = hot_exp::RunCtx {
+        scale: hot_exp::Scale::Golden,
+        seed: hot_exp::SEED,
+        threads: hotgen::graph::parallel::default_threads(),
+        snapshot_dir: None,
+    };
+    let rows = e18::cascade_rows(&p, &ctx);
+    let row = |topology: &str| {
+        rows.iter()
+            .find(|r| r.topology == topology)
+            .unwrap_or_else(|| panic!("row {} missing", topology))
+    };
+    let hot = row("isp(designed)");
+    let glp = row("glp");
+    let ba = row("ba(m=2)");
+    // The headline ordering: the designed network amplifies the surge
+    // strictly less than the hub topology (and the GLP middle ground
+    // sits between them at golden scale).
+    assert!(
+        hot.amplification < ba.amplification,
+        "hot {} vs ba {}",
+        hot.amplification,
+        ba.amplification
+    );
+    assert!(
+        hot.amplification < glp.amplification && glp.amplification < ba.amplification,
+        "hot {} / glp {} / ba {}",
+        hot.amplification,
+        glp.amplification,
+        ba.amplification
+    );
+    // Graceful degradation is absolute, not just relative: the ISP's
+    // envelope provisioning absorbs the flash crowd outright — zero
+    // failed links, zero stranded traffic, every TE trajectory intact.
+    assert_eq!(hot.failed_links, 0, "hot fails {} links", hot.failed_links);
+    assert_eq!(hot.stranded_fraction, 0.0);
+    assert_eq!(hot.baseline.overloaded_links, 0);
+    // The hub topology collapses: most of its links fail, most of the
+    // offered traffic is stranded, and the surviving capital is a
+    // fraction of what it provisioned — even though its total capacity
+    // budget is no smaller than the ISP's.
+    assert!(
+        ba.failed_link_share > 0.5,
+        "ba failed share {}",
+        ba.failed_link_share
+    );
+    assert!(
+        ba.stranded_fraction > 0.5,
+        "ba stranded {}",
+        ba.stranded_fraction
+    );
+    assert!(
+        hot.surviving_capacity_share > ba.surviving_capacity_share,
+        "surviving capital: hot {} vs ba {}",
+        hot.surviving_capacity_share,
+        ba.surviving_capacity_share
+    );
+    assert!(
+        ba.total_capacity >= hot.total_capacity,
+        "the comparison is not capital-starved: ba {} vs hot {}",
+        ba.total_capacity,
+        hot.total_capacity
+    );
+    // Both cascades reach their fixed points.
+    assert!(hot.cascade_converged && glp.cascade_converged && ba.cascade_converged);
+}
