@@ -17,7 +17,8 @@ use hot_core::isp::generator::{generate, IspConfig};
 use hot_core::peering::{generate_internet, InternetConfig};
 use hot_graph::graph::Graph;
 use hot_metrics::degree_dist::summarize_sample;
-use hot_sim::traceroute::{infer_map, strided_vantages};
+use hot_sim::probe::infer_map_batched;
+use hot_sim::traceroute::strided_vantages;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -76,6 +77,7 @@ fn campaign<N: Clone, E: Clone>(
     name: &str,
     truth: &Graph<N, E>,
     vantage_counts: &[usize],
+    threads: usize,
     weight: impl Fn(&E) -> f64 + Copy,
 ) -> Section {
     let true_summary = summarize_sample(&truth.degree_sequence());
@@ -85,7 +87,10 @@ fn campaign<N: Clone, E: Clone>(
             continue;
         }
         let vantages = strided_vantages(truth, k);
-        let map = infer_map(truth, &vantages, None, weight);
+        // The batched CSR engine (E19's); bit-identical masks to the
+        // old per-vantage `infer_map`, so this section's numbers are
+        // unchanged — which is exactly the point of keeping E14 on it.
+        let map = infer_map_batched(truth, &vantages, None, weight, threads).map;
         let s = summarize_sample(&map.degree_sequence(truth));
         t.push(vec![
             k.into(),
@@ -154,6 +159,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "single ISP (tree-dominated)",
         &isp.graph,
         &p.vantages,
+        ctx.threads,
         |l| l.length.max(1e-9),
     ));
     // (b) The multi-ISP Internet: redundant backbones + peering diversity.
@@ -173,6 +179,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         "Internet router graph",
         &router_graph,
         &p.vantages,
+        ctx.threads,
         |l| l.length.max(1e-9),
     ));
     // (c) A BA mesh control with unit link weights.
@@ -181,6 +188,7 @@ pub fn run(p: &Params, ctx: RunCtx) -> ExpReport {
         &format!("ba(m={}) mesh control", p.ba_m),
         &mesh,
         &p.vantages,
+        ctx.threads,
         |_| 1.0,
     ));
     report.section(Section::new("interpretation").note(

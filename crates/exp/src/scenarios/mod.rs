@@ -1,4 +1,4 @@
-//! The eighteen scenarios, one module per experiment.
+//! The nineteen scenarios, one module per experiment.
 //!
 //! Each module exposes a `Params` struct with `golden()` / `full()` /
 //! `for_scale()` constructors and a `run(&Params, RunCtx) -> ExpReport`
@@ -18,6 +18,7 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -591,6 +591,23 @@ impl CsrBfsTree {
         }
     }
 
+    /// Raw parent-node array, indexed by node id. Entries are
+    /// meaningful only for *reached non-source* nodes (check `dist`
+    /// first); everything else holds stale or sentinel values. The
+    /// checked accessor is [`Self::parent`] — this is the
+    /// allocation-free variant the probe engine's chain walks use.
+    #[inline]
+    pub fn parent_nodes(&self) -> &[NodeId] {
+        &self.parent_node
+    }
+
+    /// Raw parent-edge array, parallel to [`Self::parent_nodes`], with
+    /// the same validity caveat.
+    #[inline]
+    pub fn parent_edges(&self) -> &[EdgeId] {
+        &self.parent_edge
+    }
+
     /// The edge sequence of the tree path from the source to `target`, or
     /// `None` when unreachable. The empty path is returned for
     /// `target == source`.

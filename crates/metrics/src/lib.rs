@@ -19,6 +19,7 @@
 //! | [`distortion`] | spanning-tree distance stretch | Tangmunarunkit et al. \[30\] |
 //! | [`spectral`] | spectral radius, algebraic connectivity | Vukadinović et al. \[31\] |
 //! | [`hierarchy`] | betweenness concentration (Gini, top-share) | load-based hierarchy |
+//! | [`bias`] | observed-vs-true distortion of probe-inferred maps | paper §1/§3.2 measurement bias |
 //! | [`robustness`] | failure/attack degradation curves | HOT robust-yet-fragile |
 //! | [`utilization`] | link-load summaries, CCDFs, load-share splits | experiment E15 traffic engine |
 //! | [`report`] | one-struct-per-graph metric matrix + table rendering | experiment E6 |
@@ -28,6 +29,7 @@
 //! reproducible without threading RNGs through every metric.
 
 pub mod assortativity;
+pub mod bias;
 pub mod clustering;
 pub mod degree_dist;
 pub mod distortion;

@@ -18,11 +18,13 @@
 //! | [`failure`] | single-link failures: re-routing stretch, load redistribution | §3.1 robustness; §4 fn.7 redundancy |
 //! | [`bgp`] | valley-free (Gao–Rexford) interdomain paths, policy inflation | §2.3 peering economics |
 //! | [`traceroute`] | vantage-point path sampling, inferred-map bias | §1/§3.2 incomplete measured maps |
+//! | [`probe`] | batched million-probe campaigns over CSR, bit-identical to [`traceroute`] | §1/§3.2 measurement at scale |
 
 pub mod bgp;
 pub mod cascade;
 pub mod demand;
 pub mod failure;
+pub mod probe;
 pub mod routing;
 pub mod te;
 pub mod traceroute;

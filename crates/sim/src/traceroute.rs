@@ -49,9 +49,24 @@ impl InferredMap {
         out
     }
 
-    /// Degree sequence of the inferred topology.
-    pub fn degree_sequence<N: Clone, E: Clone>(&self, truth: &Graph<N, E>) -> Vec<u32> {
-        self.to_graph(truth).degree_sequence()
+    /// Degree sequence of the inferred topology: one entry per observed
+    /// node in ascending ground-truth id order (the node order
+    /// [`Self::to_graph`] emits), counting only observed links.
+    /// Computed straight off the masks in O(n + m) — materializing the
+    /// inferred graph first, as this used to do, made every call pay a
+    /// full graph rebuild.
+    pub fn degree_sequence<N, E>(&self, truth: &Graph<N, E>) -> Vec<u32> {
+        let mut deg = vec![0u32; truth.node_count()];
+        for (e, a, b, _) in truth.edges() {
+            if self.edge_seen[e.index()] {
+                deg[a.index()] += 1;
+                deg[b.index()] += 1;
+            }
+        }
+        (0..truth.node_count())
+            .filter(|&v| self.node_seen[v])
+            .map(|v| deg[v])
+            .collect()
     }
 }
 
@@ -60,7 +75,10 @@ impl InferredMap {
 ///
 /// Destinations: all nodes when `destinations` is `None`, else the given
 /// subset. Unreachable destinations are silently skipped (exactly like a
-/// traceroute timing out).
+/// traceroute timing out), and so are out-of-range vantage or
+/// destination ids — the convention `route()` and the BGP distance
+/// queries follow for unrouted addresses. This used to index
+/// `node_seen` with the raw id and panic.
 pub fn infer_map<N, E>(
     truth: &Graph<N, E>,
     vantages: &[NodeId],
@@ -79,9 +97,15 @@ pub fn infer_map<N, E>(
         }
     };
     for &v in vantages {
+        if v.index() >= n {
+            continue;
+        }
         node_seen[v.index()] = true;
         let sp = dijkstra(truth, v, |_, w| weight(w));
         for &dst in dests {
+            if dst.index() >= n {
+                continue;
+            }
             if let Some(path) = sp.edge_path_to(dst) {
                 node_seen[dst.index()] = true;
                 let mut cur = dst;
@@ -168,15 +192,53 @@ mod tests {
         assert!(inferred.edge_count() <= g.edge_count());
         assert!(inferred.node_count() <= g.node_count());
         // Degree in the inferred map never exceeds the true degree.
+        // (Computed once before the loop — recomputing the sequence per
+        // node made this quadratic.)
         let true_degs = g.degree_sequence();
+        let inferred_degs = inferred.degree_sequence();
         let mut observed_idx = 0usize;
         for v in 0..g.node_count() {
             if map.node_seen[v] {
-                let inf_deg = inferred.degree_sequence()[observed_idx];
-                assert!(inf_deg <= true_degs[v]);
+                assert!(inferred_degs[observed_idx] <= true_degs[v]);
                 observed_idx += 1;
             }
         }
+    }
+
+    /// The mask-based degree sequence equals the one obtained by
+    /// materializing the inferred graph (the old implementation).
+    #[test]
+    fn degree_sequence_matches_materialized_graph() {
+        let g = square_diag();
+        for k in 1..=4 {
+            let map = infer_map(&g, &strided_vantages(&g, k), None, |w| *w);
+            assert_eq!(
+                map.degree_sequence(&g),
+                map.to_graph(&g).degree_sequence(),
+                "k = {}",
+                k
+            );
+        }
+    }
+
+    /// Out-of-range vantage and destination ids are skipped, not
+    /// panicked on (regression: `node_seen[v.index()]` used to index
+    /// straight into the mask).
+    #[test]
+    fn out_of_range_ids_are_skipped() {
+        let g = square_diag();
+        let map = infer_map(&g, &[NodeId(99), NodeId(0)], None, |w| *w);
+        let clean = infer_map(&g, &[NodeId(0)], None, |w| *w);
+        assert_eq!(map.node_seen, clean.node_seen);
+        assert_eq!(map.edge_seen, clean.edge_seen);
+        let map = infer_map(&g, &[NodeId(0)], Some(&[NodeId(1), NodeId(42)]), |w| *w);
+        let clean = infer_map(&g, &[NodeId(0)], Some(&[NodeId(1)]), |w| *w);
+        assert_eq!(map.node_seen, clean.node_seen);
+        assert_eq!(map.edge_seen, clean.edge_seen);
+        // All-out-of-range campaign observes nothing.
+        let map = infer_map(&g, &[NodeId(99)], None, |w| *w);
+        assert_eq!(map.node_coverage, 0.0);
+        assert!(map.edge_seen.iter().all(|&s| !s));
     }
 
     #[test]

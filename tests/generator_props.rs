@@ -352,3 +352,114 @@ proptest! {
         prop_assert!(out.weights.iter().all(|&w| w > 0.0 && w <= 1.0));
     }
 }
+
+/// A tie-heavy weighted multigraph from proptest edge pairs: integer
+/// weights in {0..3} manufacture many equal-cost paths (the hard case
+/// for bit-for-bit agreement between shortest-path engines) and keep
+/// zero-weight links in play, which `shortest_path::dijkstra` accepts.
+fn weighted_fixture(n: usize, pairs: &[(usize, usize)]) -> Graph<(), f64> {
+    let edges: Vec<(usize, usize, f64)> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| (a % n, b % n, ((a * 7 + b * 11 + i) % 4) as f64))
+        .filter(|&(a, b, _)| a != b)
+        .collect();
+    Graph::from_edges(n, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The batched CSR probe engine is a drop-in for the per-vantage
+    /// reference: identical masks and coverage bits on arbitrary
+    /// weighted graphs, destination subsets (including out-of-range
+    /// ids, which both sides skip), and at every thread count.
+    #[test]
+    fn probe_engine_matches_infer_map_reference(
+        n in 2usize..40,
+        pairs in proptest::collection::vec((0usize..40, 0usize..40), 1..120),
+        k in 1usize..8,
+        dest_mode in 0usize..3,
+        threads in 1usize..5,
+    ) {
+        use hotgen::sim::probe::infer_map_batched;
+        use hotgen::sim::traceroute::{infer_map, strided_vantages};
+        let g = weighted_fixture(n, &pairs);
+        let vantages = strided_vantages(&g, k);
+        let subset: Vec<NodeId>;
+        let destinations: Option<&[NodeId]> = match dest_mode {
+            0 => None,
+            1 => {
+                subset = (0..n).step_by(3).map(|v| NodeId(v as u32)).collect();
+                Some(&subset)
+            }
+            _ => {
+                // Out-of-range destinations must be skipped, not panic.
+                subset = (0..n + 4).step_by(2).map(|v| NodeId(v as u32)).collect();
+                Some(&subset)
+            }
+        };
+        let reference = infer_map(&g, &vantages, destinations, |&w| w);
+        let batched = infer_map_batched(&g, &vantages, destinations, |&w| w, threads).map;
+        prop_assert_eq!(&batched.node_seen, &reference.node_seen);
+        prop_assert_eq!(&batched.edge_seen, &reference.edge_seen);
+        prop_assert_eq!(
+            batched.node_coverage.to_bits(),
+            reference.node_coverage.to_bits()
+        );
+        prop_assert_eq!(
+            batched.edge_coverage.to_bits(),
+            reference.edge_coverage.to_bits()
+        );
+    }
+
+    /// Campaign maps are subgraphs of the truth (every observed link
+    /// has both endpoints observed, every in-range vantage observes
+    /// itself) and growing the vantage set only ever grows the map.
+    #[test]
+    fn probe_maps_are_monotone_subgraphs(
+        n in 5usize..60,
+        m in 1usize..4,
+        seed in 0u64..1_000_000,
+        k in 1usize..10,
+        threads in 1usize..5,
+    ) {
+        use hotgen::sim::probe::{run_campaign, ProbeCampaign};
+        use hotgen::sim::traceroute::strided_vantages;
+        let g = ba::generate(n, m, &mut StdRng::seed_from_u64(seed));
+        let csr = CsrGraph::from_graph(&g);
+        let vantages = strided_vantages(&g, k);
+        let mut prev_edges: Option<Vec<bool>> = None;
+        for j in 1..=vantages.len() {
+            let out = run_campaign(
+                &csr,
+                &ProbeCampaign {
+                    vantages: &vantages[..j],
+                    destinations: None,
+                    link_latency: None,
+                },
+                threads,
+            );
+            for (e, a, b, _) in g.edges() {
+                if out.map.edge_seen[e.index()] {
+                    prop_assert!(out.map.node_seen[a.index()]);
+                    prop_assert!(out.map.node_seen[b.index()]);
+                }
+            }
+            for v in &vantages[..j] {
+                prop_assert!(out.map.node_seen[v.index()]);
+            }
+            prop_assert_eq!(out.stats.probes_sent, (j * n) as u64);
+            prop_assert!(out.stats.probes_completed <= out.stats.probes_sent);
+            if let Some(prev) = &prev_edges {
+                for (e, (was, is)) in prev.iter().zip(&out.map.edge_seen).enumerate() {
+                    prop_assert!(
+                        !was || *is,
+                        "edge {} seen with {} vantages but not {}", e, j - 1, j
+                    );
+                }
+            }
+            prev_edges = Some(out.map.edge_seen);
+        }
+    }
+}

@@ -549,3 +549,104 @@ fn claim_e18_hot_degrades_gracefully_vs_hub_cascade() {
     // Both cascades reach their fixed points.
     assert!(hot.cascade_converged && glp.cascade_converged && ba.cascade_converged);
 }
+
+/// E19 / §1, §3.2: a million-probe campaign against known truths. The
+/// tree-like HOT internet is essentially fully observable from a
+/// handful of vantages, while the degree-driven meshes hide redundant
+/// links at every campaign size — and the maps they yield flatten the
+/// degree tail and overstate load hierarchy. This is the acceptance
+/// criterion for the batched probe pipeline.
+#[test]
+fn claim_e19_probes_see_trees_but_meshes_hide_redundancy() {
+    use hot_exp::scenarios::e19;
+    let p = e19::Params::golden();
+    let ctx = hot_exp::RunCtx {
+        scale: hot_exp::Scale::Golden,
+        seed: hot_exp::SEED,
+        threads: hotgen::graph::parallel::default_threads(),
+        snapshot_dir: None,
+    };
+    let rows = e19::probe_rows(&p, &ctx);
+    // Campaign scale: even the golden preset fires over a million
+    // probes, and every one completes (the truths are connected).
+    let sent: u64 = rows.iter().map(|r| r.stats.probes_sent).sum();
+    let completed: u64 = rows.iter().map(|r| r.stats.probes_completed).sum();
+    assert!(sent >= 1_000_000, "only {} probes fired", sent);
+    assert_eq!(sent, completed, "probes lost on connected truths");
+    let row = |topology: &str, k: usize| {
+        rows.iter()
+            .find(|r| r.topology == topology && r.vantage_count == k)
+            .unwrap_or_else(|| panic!("row ({}, {}) missing", topology, k))
+    };
+    // One vantage already separates the designs: the HOT access trees
+    // put ~90% of links on that single forwarding tree, the meshes
+    // expose only their own tree's worth of edges.
+    assert!(row("hot(internet)", 1).bias.edge_coverage > 0.85);
+    assert!(row("glp", 1).bias.edge_coverage < 0.5);
+    assert!(row("ba", 1).bias.edge_coverage < 0.5);
+    // Sixteen vantages finish the HOT map outright; the meshes still
+    // hide links, report a flattened mean degree, and concentrate the
+    // observed betweenness harder than the truth.
+    let hot = row("hot(internet)", 16);
+    assert_eq!(hot.bias.node_coverage, 1.0);
+    assert_eq!(hot.bias.edge_coverage, 1.0);
+    for name in ["glp", "ba"] {
+        let r = row(name, 16);
+        assert!(
+            r.bias.edge_coverage < 0.95,
+            "{} edge coverage {}",
+            name,
+            r.bias.edge_coverage
+        );
+        assert!(
+            r.bias.observed_degree.mean < r.bias.true_degree.mean,
+            "{}: observed mean {} vs true {}",
+            name,
+            r.bias.observed_degree.mean,
+            r.bias.true_degree.mean
+        );
+        assert!(
+            r.bias.observed_betweenness.gini > r.bias.true_betweenness.gini,
+            "{}: observed gini {} vs true {}",
+            name,
+            r.bias.observed_betweenness.gini,
+            r.bias.true_betweenness.gini
+        );
+        assert!(
+            r.bias.observed_betweenness.top_decile_share > r.bias.true_betweenness.top_decile_share,
+            "{} top-decile share",
+            name
+        );
+    }
+    // The flattened tail is visible threshold by threshold: at sixteen
+    // vantages the GLP observed CCDF never exceeds the truth and sits
+    // strictly below it somewhere.
+    let glp = row("glp", 16);
+    assert!(glp
+        .bias
+        .degree_ccdf
+        .iter()
+        .all(|pt| pt.observed_ccdf <= pt.true_ccdf));
+    assert!(glp
+        .bias
+        .degree_ccdf
+        .iter()
+        .any(|pt| pt.observed_ccdf < pt.true_ccdf));
+    // And the plateau is real: even the largest GLP campaign (256
+    // vantages, half a million probes) never recovers the full truth.
+    assert!(row("glp", 256).bias.edge_coverage < 1.0);
+    // Coverage is monotone in the vantage sweep on every topology.
+    for topology in ["hot(internet)", "glp", "ba"] {
+        let covs: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.topology == topology)
+            .map(|r| r.bias.edge_coverage)
+            .collect();
+        assert!(
+            covs.windows(2).all(|w| w[0] <= w[1]),
+            "{} coverage not monotone: {:?}",
+            topology,
+            covs
+        );
+    }
+}
