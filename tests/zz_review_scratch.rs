@@ -1,0 +1,27 @@
+use hotgen::graph::Graph;
+use hotgen::graph::graph::NodeId;
+use hotgen::sim::probe::infer_map_batched;
+use hotgen::sim::traceroute::{infer_map, strided_vantages};
+
+fn weighted_fixture(n: usize, pairs: &[(usize, usize)]) -> Graph<(), f64> {
+    let edges: Vec<(usize, usize, f64)> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| (a % n, b % n, ((a * 7 + b * 11 + i) % 4) as f64))
+        .filter(|&(a, b, _)| a != b)
+        .collect();
+    Graph::from_edges(n, edges)
+}
+
+#[test]
+fn proptest_style_case() {
+    // n=40, single edge (0,1): nodes 2..39 isolated. k=7 vantages
+    // include node 5 (isolated, 5 % 3 != 0 so not a destination).
+    let g = weighted_fixture(40, &[(0, 1)]);
+    let vantages = strided_vantages(&g, 7);
+    println!("vantages: {:?}", vantages);
+    let dests: Vec<NodeId> = (0..40).step_by(3).map(|v| NodeId(v as u32)).collect();
+    let reference = infer_map(&g, &vantages, Some(&dests), |&w| w);
+    let batched = infer_map_batched(&g, &vantages, Some(&dests), |&w| w, 2).map;
+    assert_eq!(reference.node_seen, batched.node_seen, "node masks diverge");
+}
