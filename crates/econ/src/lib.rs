@@ -20,8 +20,10 @@ pub mod cost;
 pub mod demand;
 pub mod pricing;
 pub mod provision;
+pub mod trend;
 
 pub use cable::{CableCatalog, CableType, CatalogError};
 pub use cost::LinkCost;
 pub use demand::CustomerDemand;
 pub use provision::{proportional_capacities, provision_capacities};
+pub use trend::TechTrend;

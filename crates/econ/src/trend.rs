@@ -1,0 +1,130 @@
+//! Technology and demand trends driving the temporal engine.
+//!
+//! The paper's §5 framing: the internet the generators try to imitate is
+//! not a draw from a distribution but the running output of providers
+//! re-optimizing under *moving* constraints — transport cost per bit
+//! falls on a Moore's-law-like curve while aggregate demand compounds.
+//! [`TechTrend`] is that pair of exponentials, and
+//! [`TechTrend::scaled_catalog`] projects a [`CableCatalog`] to a given
+//! epoch's prices. Scaling every fixed and marginal cost by one positive
+//! factor preserves all three economies-of-scale axioms (the orderings
+//! compare costs of the same kind), so the projected catalog is still a
+//! valid catalog — asserted in the constructor's round trip through
+//! [`CableCatalog::new`].
+
+use crate::cable::{CableCatalog, CableType};
+
+/// Per-epoch multiplicative technology/demand drift.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TechTrend {
+    /// Cost multiplier per epoch, in `(0, 1]` (1 = static technology).
+    pub cost_decline: f64,
+    /// Demand multiplier per epoch, `≥ 1` (1 = static demand).
+    pub demand_growth: f64,
+}
+
+impl TechTrend {
+    /// Validated constructor.
+    pub fn new(cost_decline: f64, demand_growth: f64) -> Self {
+        assert!(
+            cost_decline > 0.0 && cost_decline <= 1.0,
+            "cost_decline must be in (0, 1], got {}",
+            cost_decline
+        );
+        assert!(
+            demand_growth >= 1.0 && demand_growth.is_finite(),
+            "demand_growth must be >= 1, got {}",
+            demand_growth
+        );
+        TechTrend {
+            cost_decline,
+            demand_growth,
+        }
+    }
+
+    /// No drift: costs and demand frozen at epoch-0 levels.
+    pub fn flat() -> Self {
+        TechTrend::new(1.0, 1.0)
+    }
+
+    /// The late-90s/early-2000s regime the paper writes against:
+    /// transport cost falling ~10% per epoch while demand compounds
+    /// ~35% — traffic roughly doubles every two to three epochs.
+    pub fn dotcom() -> Self {
+        TechTrend::new(0.90, 1.35)
+    }
+
+    /// Cost multiplier after `epoch` epochs (`cost_decline ^ epoch`).
+    pub fn cost_factor(&self, epoch: u64) -> f64 {
+        self.cost_decline.powi(epoch.min(i32::MAX as u64) as i32)
+    }
+
+    /// Demand multiplier after `epoch` epochs (`demand_growth ^ epoch`).
+    pub fn demand_factor(&self, epoch: u64) -> f64 {
+        self.demand_growth.powi(epoch.min(i32::MAX as u64) as i32)
+    }
+
+    /// The catalog as priced at `epoch`: every fixed and marginal cost
+    /// scaled by [`Self::cost_factor`], capacities untouched.
+    pub fn scaled_catalog(&self, base: &CableCatalog, epoch: u64) -> CableCatalog {
+        let f = self.cost_factor(epoch);
+        CableCatalog::new(
+            base.types()
+                .iter()
+                .map(|t| CableType {
+                    fixed_cost: t.fixed_cost * f,
+                    marginal_cost: t.marginal_cost * f,
+                    ..*t
+                })
+                .collect(),
+        )
+        .expect("uniform positive scaling preserves the catalog axioms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_compound() {
+        let t = TechTrend::new(0.5, 2.0);
+        assert_eq!(t.cost_factor(0), 1.0);
+        assert_eq!(t.cost_factor(3), 0.125);
+        assert_eq!(t.demand_factor(3), 8.0);
+        let flat = TechTrend::flat();
+        assert_eq!(flat.cost_factor(100), 1.0);
+        assert_eq!(flat.demand_factor(100), 1.0);
+    }
+
+    #[test]
+    fn scaled_catalog_keeps_axioms_and_ratios() {
+        let base = CableCatalog::realistic_2003();
+        let t = TechTrend::dotcom();
+        let later = t.scaled_catalog(&base, 10);
+        assert_eq!(later.len(), base.len());
+        let f = t.cost_factor(10);
+        for (a, b) in base.types().iter().zip(later.types()) {
+            assert_eq!(b.capacity, a.capacity);
+            assert_eq!(b.name, a.name);
+            assert!((b.fixed_cost - a.fixed_cost * f).abs() < 1e-12);
+            assert!((b.marginal_cost - a.marginal_cost * f).abs() < 1e-12);
+        }
+        // Cheaper in absolute terms, identical relative structure.
+        assert!(later.types()[0].fixed_cost < base.types()[0].fixed_cost);
+        let flow = 500.0;
+        assert!((later.flow_cost(flow) - base.flow_cost(flow) * f).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost_decline")]
+    fn rising_costs_are_rejected() {
+        TechTrend::new(1.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand_growth")]
+    fn shrinking_demand_is_rejected() {
+        TechTrend::new(1.0, 0.9);
+    }
+}

@@ -29,7 +29,7 @@ struct Args {
 }
 
 const USAGE: &str = "\
-expctl — run the E1-E19 scenario registry
+expctl — run the E1-E20 scenario registry
 
 USAGE:
   expctl --list                      list registered scenarios

@@ -1,6 +1,6 @@
 //! # hot-exp — the scenario engine
 //!
-//! Every experiment E1–E19 from the reproduction lives here as a
+//! Every experiment E1–E20 from the reproduction lives here as a
 //! registered [`registry::ScenarioSpec`]: a named, seeded, pure function
 //! from parameters to a structured [`report::ExpReport`]. One driver —
 //! the `expctl` binary — lists, runs, and exports them; the legacy

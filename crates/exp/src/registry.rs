@@ -1,4 +1,4 @@
-//! The scenario registry: E1–E19 as uniform, runnable entries.
+//! The scenario registry: E1–E20 as uniform, runnable entries.
 //!
 //! Each entry is a [`ScenarioSpec`] — id, name, one-line summary, and a
 //! `fn(RunCtx) -> ExpReport` that resolves the scale to that scenario's
@@ -58,7 +58,7 @@ pub struct RunCtx {
 
 /// One registered scenario.
 pub struct ScenarioSpec {
-    /// Registry id (`"e1"` … `"e19"`), the `--run` argument.
+    /// Registry id (`"e1"` … `"e20"`), the `--run` argument.
     pub id: &'static str,
     /// Short machine name (`"fkp-regimes"`).
     pub name: &'static str,
@@ -81,7 +81,7 @@ macro_rules! spec {
     };
 }
 
-static REGISTRY: [ScenarioSpec; 19] = [
+static REGISTRY: [ScenarioSpec; 20] = [
     spec!(
         "e1",
         e1,
@@ -196,6 +196,12 @@ static REGISTRY: [ScenarioSpec; 19] = [
         "probe-bias",
         "million-probe campaigns: HOT nearly fully observable, meshes hide redundancy"
     ),
+    spec!(
+        "e20",
+        e20,
+        "temporal-growth",
+        "temporal internet: HOT signatures stay flat under growth, BA/GLP hubs deepen"
+    ),
 ];
 
 /// All registered scenarios, in E-number order.
@@ -231,9 +237,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_nineteen_in_order() {
+    fn registry_has_all_twenty_in_order() {
         let ids: Vec<&str> = registry().iter().map(|s| s.id).collect();
-        let expected: Vec<String> = (1..=19).map(|i| format!("e{}", i)).collect();
+        let expected: Vec<String> = (1..=20).map(|i| format!("e{}", i)).collect();
         assert_eq!(ids, expected.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     }
 
@@ -249,7 +255,9 @@ mod tests {
         assert_eq!(find("te-cascade").map(|s| s.id), Some("e18"));
         assert_eq!(find("e19").map(|s| s.name), Some("probe-bias"));
         assert_eq!(find("probe-bias").map(|s| s.id), Some("e19"));
-        assert!(find("e20").is_none());
+        assert_eq!(find("e20").map(|s| s.name), Some("temporal-growth"));
+        assert_eq!(find("temporal-growth").map(|s| s.id), Some("e20"));
+        assert!(find("e21").is_none());
     }
 
     #[test]

@@ -1,11 +1,11 @@
-//! The nineteen scenarios, one module per experiment.
+//! The twenty scenarios, one module per experiment.
 //!
 //! Each module exposes a `Params` struct with `golden()` / `full()` /
 //! `for_scale()` constructors and a `run(&Params, RunCtx) -> ExpReport`
 //! entry point; some additionally expose typed intermediate results
 //! (e.g. [`e1::regime_rows`], [`e5::design_curves`],
 //! [`e15::traffic_rows`], [`e17::policy_rows`],
-//! [`e18::cascade_rows`]) so the paper-claims tests can assert on
+//! [`e18::cascade_rows`], [`e20::temporal_rows`]) so the paper-claims tests can assert on
 //! structured values instead of parsing tables.
 
 pub mod e1;
@@ -20,6 +20,7 @@ pub mod e17;
 pub mod e18;
 pub mod e19;
 pub mod e2;
+pub mod e20;
 pub mod e3;
 pub mod e4;
 pub mod e5;

@@ -183,6 +183,25 @@ impl CsrGraph {
         })
     }
 
+    /// Crate-internal assembler for the epoch engine's incremental
+    /// rebuild (`crate::epoch`): the caller constructs the arrays to the
+    /// same invariants [`Self::from_raw_parts`] checks, so release
+    /// builds skip the O(n + m) validation pass. Debug builds still
+    /// validate, which is what the differential tests run under.
+    pub(crate) fn assemble(offsets: Vec<u32>, targets: Vec<NodeId>, edge_ids: Vec<EdgeId>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            return Self::from_raw_parts(offsets, targets, edge_ids)
+                .expect("incremental rebuild produced an invalid CSR");
+        }
+        #[cfg(not(debug_assertions))]
+        CsrGraph {
+            offsets,
+            targets,
+            edge_ids,
+        }
+    }
+
     /// The raw offset array: node `v`'s adjacency entries live at
     /// `offsets[v] as usize .. offsets[v + 1] as usize`. Length is
     /// `node_count() + 1`.

@@ -1,0 +1,446 @@
+//! Epoch/versioned-view boundary between the mutable [`Graph`] and its
+//! [`CsrGraph`] analytics view.
+//!
+//! Every kernel in this workspace runs off the flat CSR view, but the
+//! temporal engine (`hot_sim::evolve`) mutates the adjacency-list
+//! [`Graph`] thousands of times per simulated epoch. Rebuilding the CSR
+//! from scratch after every batch of arrivals walks the whole
+//! `Vec<Vec<(NodeId, EdgeId)>>` heap again — O(n + m) pointer chases
+//! when the epoch only touched a few hundred nodes. [`EpochGraph`] keeps
+//! the two representations paired and makes the rebuild proportional to
+//! what actually changed:
+//!
+//! - mutations go through [`EpochGraph::add_node`] /
+//!   [`EpochGraph::add_edge`], which track the **dirty region** — the
+//!   committed nodes whose adjacency grew — and feed a growable
+//!   union-find so connectivity queries are live without any rebuild;
+//! - [`EpochGraph::commit`] advances the epoch and refreshes the CSR
+//!   view *incrementally*: clean committed nodes' adjacency slices are
+//!   block-copied (`memcpy`) from the previous CSR with a shifted
+//!   offset, and only dirty and newly-arrived nodes re-walk the
+//!   adjacency lists.
+//!
+//! Because [`Graph`] is append-only (no node or edge removal, ids never
+//! reused) and [`CsrGraph::from_graph`] emits neighbors in exact
+//! adjacency order, the incremental rebuild is **bit-identical** to a
+//! from-scratch rebuild by construction: a clean node's slice cannot
+//! have changed, and a dirty node's slice is re-emitted in the same
+//! order `from_graph` would. [`EpochGraph::commit_full`] runs the
+//! from-scratch path with identical bookkeeping — the reference the
+//! differential suite (`tests/evolve_equivalence.rs`) and the
+//! release-armed speedup gate (`tests/evolve_speedup.rs`) compare
+//! against.
+//!
+//! The view is *versioned*: [`EpochGraph::csr`] always reflects the last
+//! commit, while [`EpochGraph::graph`], counts, and connectivity reflect
+//! every mutation immediately. Pending-range accessors expose the delta
+//! between the two so rolling metrics (`hot_metrics::rolling`) can
+//! update themselves from the new nodes/edges alone.
+
+use crate::csr::{CsrGraph, MAX_CSR_ENTRIES};
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::unionfind::UnionFind;
+use std::ops::Range;
+
+/// A mutable [`Graph`] paired with a committed [`CsrGraph`] view, a live
+/// union-find over its components, and an epoch counter.
+///
+/// See the module docs for the commit protocol. The structure is
+/// growth-only, mirroring [`Graph`]: nodes and edges are added, never
+/// removed, which is exactly the paper's setting — the internet's
+/// installed base only accretes; re-optimization reinforces, it does not
+/// unbuild.
+#[derive(Clone, Debug)]
+pub struct EpochGraph<N, E> {
+    graph: Graph<N, E>,
+    csr: CsrGraph,
+    uf: UnionFind,
+    epoch: u64,
+    /// Nodes/edges reflected in `csr` (watermarks of the last commit).
+    committed_nodes: usize,
+    committed_edges: usize,
+    /// Committed nodes whose adjacency grew since the last commit.
+    dirty: Vec<u32>,
+    /// O(1) dedup for `dirty`; length is always `committed_nodes`.
+    dirty_flag: Vec<bool>,
+}
+
+impl<N, E> EpochGraph<N, E> {
+    /// Wraps an existing graph at epoch 0 with a freshly built CSR view
+    /// and a union-find seeded from its edges.
+    pub fn new(graph: Graph<N, E>) -> Self {
+        let csr = CsrGraph::from_graph(&graph);
+        let mut uf = UnionFind::new(graph.node_count());
+        for (_, a, b, _) in graph.edges() {
+            uf.union(a.index(), b.index());
+        }
+        let committed_nodes = graph.node_count();
+        let committed_edges = graph.edge_count();
+        EpochGraph {
+            graph,
+            csr,
+            uf,
+            epoch: 0,
+            committed_nodes,
+            committed_edges,
+            dirty: Vec::new(),
+            dirty_flag: vec![false; committed_nodes],
+        }
+    }
+
+    /// The underlying mutable graph (read-only; mutate through
+    /// [`Self::add_node`] / [`Self::add_edge`] so the dirty region and
+    /// union-find stay in sync).
+    #[inline]
+    pub fn graph(&self) -> &Graph<N, E> {
+        &self.graph
+    }
+
+    /// The CSR view as of the last [`Self::commit`]. Stale with respect
+    /// to any pending mutations by design.
+    #[inline]
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Number of commits performed (0 for a freshly wrapped graph).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Live node count (includes uncommitted arrivals).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Live edge count (includes uncommitted links).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Nodes reflected in the committed CSR view.
+    #[inline]
+    pub fn committed_node_count(&self) -> usize {
+        self.committed_nodes
+    }
+
+    /// Edges reflected in the committed CSR view.
+    #[inline]
+    pub fn committed_edge_count(&self) -> usize {
+        self.committed_edges
+    }
+
+    /// Node ids added since the last commit.
+    #[inline]
+    pub fn pending_nodes(&self) -> Range<usize> {
+        self.committed_nodes..self.graph.node_count()
+    }
+
+    /// Edge ids added since the last commit.
+    #[inline]
+    pub fn pending_edges(&self) -> Range<usize> {
+        self.committed_edges..self.graph.edge_count()
+    }
+
+    /// Whether any mutation is pending (the next commit will rebuild).
+    #[inline]
+    pub fn is_dirty(&self) -> bool {
+        self.graph.node_count() > self.committed_nodes
+            || self.graph.edge_count() > self.committed_edges
+    }
+
+    /// Number of *committed* nodes whose adjacency grew since the last
+    /// commit — the dirty region the incremental rebuild re-walks.
+    #[inline]
+    pub fn dirty_node_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Adds a node, growing the union-find alongside.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = self.graph.add_node(weight);
+        let uf_id = self.uf.push();
+        debug_assert_eq!(uf_id, id.index());
+        id
+    }
+
+    /// Adds an undirected edge, merging its endpoints' components and
+    /// marking committed endpoints dirty. Panics like
+    /// [`Graph::add_edge`] on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: E) -> EdgeId {
+        let id = self.graph.add_edge(a, b, weight);
+        self.uf.union(a.index(), b.index());
+        self.mark_dirty(a);
+        self.mark_dirty(b);
+        id
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, v: NodeId) {
+        let i = v.index();
+        // Uncommitted nodes re-walk on commit anyway; only committed
+        // nodes need dirty tracking.
+        if i < self.committed_nodes && !self.dirty_flag[i] {
+            self.dirty_flag[i] = true;
+            self.dirty.push(v.0);
+        }
+    }
+
+    /// Node annotation (live).
+    #[inline]
+    pub fn node_weight(&self, v: NodeId) -> &N {
+        self.graph.node_weight(v)
+    }
+
+    /// Mutable node annotation. Weights are not part of the CSR view,
+    /// so this never dirties anything.
+    #[inline]
+    pub fn node_weight_mut(&mut self, v: NodeId) -> &mut N {
+        self.graph.node_weight_mut(v)
+    }
+
+    /// Edge annotation (live).
+    #[inline]
+    pub fn edge_weight(&self, e: EdgeId) -> &E {
+        self.graph.edge_weight(e)
+    }
+
+    /// Mutable edge annotation (structure-neutral, like
+    /// [`Self::node_weight_mut`]).
+    #[inline]
+    pub fn edge_weight_mut(&mut self, e: EdgeId) -> &mut E {
+        self.graph.edge_weight_mut(e)
+    }
+
+    /// Number of connected components, live (reflects every `add_edge`
+    /// immediately, commit or not). Isolated nodes count.
+    #[inline]
+    pub fn components(&self) -> usize {
+        self.uf.set_count()
+    }
+
+    /// Whether `a` and `b` are in the same component, live.
+    #[inline]
+    pub fn connected(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.uf.connected(a.index(), b.index())
+    }
+
+    /// Commits pending mutations: refreshes the CSR view with the
+    /// dirty-region fast path and advances the epoch. Returns the new
+    /// epoch number. A clean commit (nothing pending) still advances
+    /// the epoch — an epoch with no arrivals is a valid epoch.
+    pub fn commit(&mut self) -> u64 {
+        if self.is_dirty() {
+            self.rebuild_incremental();
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The from-scratch reference for [`Self::commit`]: identical
+    /// bookkeeping, but the CSR view is rebuilt with
+    /// [`CsrGraph::from_graph`]. The differential suite asserts the two
+    /// paths produce bit-identical views at every epoch; the speedup
+    /// gate times them against each other.
+    pub fn commit_full(&mut self) -> u64 {
+        if self.is_dirty() {
+            self.csr = CsrGraph::from_graph(&self.graph);
+            self.finish_rebuild();
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Incremental CSR refresh: memcpy clean committed runs, re-walk
+    /// dirty + new nodes. O(clean entries) memcpy + O(changed) walk.
+    fn rebuild_incremental(&mut self) {
+        let n = self.graph.node_count();
+        let entries = 2 * self.graph.edge_count();
+        assert!(
+            entries <= MAX_CSR_ENTRIES,
+            "graph exceeds u32 CSR capacity ({} adjacency entries)",
+            entries
+        );
+        let old_off = self.csr.offsets();
+        let old_targets = self.csr.targets();
+        let old_edges = self.csr.edge_ids_raw();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(entries);
+        let mut edge_ids: Vec<EdgeId> = Vec::with_capacity(entries);
+        offsets.push(0u32);
+        let mut v = 0usize;
+        while v < self.committed_nodes {
+            if self.dirty_flag[v] {
+                for (u, e) in self.graph.neighbors(NodeId(v as u32)) {
+                    targets.push(u);
+                    edge_ids.push(e);
+                }
+                offsets.push(targets.len() as u32);
+                v += 1;
+            } else {
+                // Maximal clean run [start, v): its adjacency slices and
+                // offsets are the old ones, shifted by however much the
+                // dirty nodes before it grew.
+                let start = v;
+                while v < self.committed_nodes && !self.dirty_flag[v] {
+                    v += 1;
+                }
+                let lo = old_off[start] as usize;
+                let hi = old_off[v] as usize;
+                targets.extend_from_slice(&old_targets[lo..hi]);
+                edge_ids.extend_from_slice(&old_edges[lo..hi]);
+                let shift = (targets.len() as u32).wrapping_sub(old_off[v]);
+                offsets.extend(
+                    old_off[start + 1..=v]
+                        .iter()
+                        .map(|&o| o.wrapping_add(shift)),
+                );
+            }
+        }
+        for w in self.committed_nodes..n {
+            for (u, e) in self.graph.neighbors(NodeId(w as u32)) {
+                targets.push(u);
+                edge_ids.push(e);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        self.csr = CsrGraph::assemble(offsets, targets, edge_ids);
+        self.finish_rebuild();
+    }
+
+    /// Shared post-rebuild bookkeeping: clear the dirty region and move
+    /// the watermarks to the live counts.
+    fn finish_rebuild(&mut self) {
+        for &d in &self.dirty {
+            self.dirty_flag[d as usize] = false;
+        }
+        self.dirty.clear();
+        self.dirty_flag.resize(self.graph.node_count(), false);
+        self.committed_nodes = self.graph.node_count();
+        self.committed_edges = self.graph.edge_count();
+    }
+
+    /// Unwraps the underlying graph, discarding the view state.
+    pub fn into_graph(self) -> Graph<N, E> {
+        self.graph
+    }
+}
+
+impl<N, E> Default for EpochGraph<N, E> {
+    fn default() -> Self {
+        EpochGraph::new(Graph::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Grows a deterministic little internet: epoch k adds `k + 1` nodes
+    /// and wires each to pseudo-random earlier nodes (plus a parallel
+    /// edge now and then to exercise multigraph slices).
+    fn grow_epoch(g: &mut EpochGraph<(), f64>, k: u64) {
+        for i in 0..=k as usize {
+            let v = g.add_node(());
+            let n = v.index();
+            if n == 0 {
+                continue;
+            }
+            let a = (n * 7 + i + k as usize) % n;
+            g.add_edge(NodeId(a as u32), v, (k + 1) as f64);
+            if n > 3 && n % 5 == 0 {
+                // Parallel edge to an existing neighbor.
+                g.add_edge(NodeId(a as u32), v, 0.5);
+            }
+            if n > 2 && n % 3 == 0 {
+                let b = (n * 13 + 1) % (n - 1);
+                if b != n {
+                    g.add_edge(NodeId(b as u32), v, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_commit_matches_from_scratch_every_epoch() {
+        let mut inc: EpochGraph<(), f64> = EpochGraph::default();
+        let mut full: EpochGraph<(), f64> = EpochGraph::default();
+        for k in 0..12 {
+            grow_epoch(&mut inc, k);
+            grow_epoch(&mut full, k);
+            assert!(inc.is_dirty());
+            let e1 = inc.commit();
+            let e2 = full.commit_full();
+            assert_eq!(e1, e2);
+            assert_eq!(inc.csr(), full.csr(), "CSR views diverge at epoch {}", k);
+            assert_eq!(inc.csr(), &CsrGraph::from_graph(inc.graph()));
+            assert!(!inc.is_dirty());
+            assert_eq!(inc.dirty_node_count(), 0);
+        }
+    }
+
+    #[test]
+    fn csr_view_is_stale_until_commit() {
+        let mut g: EpochGraph<(), ()> = EpochGraph::default();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        assert_eq!(g.csr().node_count(), 0, "view predates the arrivals");
+        assert_eq!(g.pending_nodes(), 0..2);
+        g.commit();
+        assert_eq!(g.csr().node_count(), 2);
+        g.add_edge(a, b, ());
+        assert_eq!(g.csr().edge_count(), 0, "edge is pending");
+        assert_eq!(g.pending_edges(), 0..1);
+        // Both endpoints are committed nodes, so both are dirty.
+        assert_eq!(g.dirty_node_count(), 2);
+        g.commit();
+        assert_eq!(g.csr().edge_count(), 1);
+        assert_eq!(g.epoch(), 2);
+    }
+
+    #[test]
+    fn connectivity_is_live_before_commit() {
+        let mut g: EpochGraph<(), ()> = EpochGraph::default();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        assert_eq!(g.components(), 3);
+        g.add_edge(a, b, ());
+        assert_eq!(g.components(), 2);
+        assert!(g.connected(a, b));
+        assert!(!g.connected(a, c));
+        g.commit();
+        g.add_edge(b, c, ());
+        assert!(g.connected(a, c), "no commit needed");
+        assert_eq!(g.components(), 1);
+    }
+
+    #[test]
+    fn wrapping_an_existing_graph_seeds_everything() {
+        let g: Graph<(), ()> = Graph::from_edges(5, vec![(0, 1, ()), (1, 2, ()), (3, 4, ())]);
+        let mut e = EpochGraph::new(g);
+        assert_eq!(e.epoch(), 0);
+        assert_eq!(e.components(), 2);
+        assert!(!e.is_dirty());
+        assert_eq!(e.csr().node_count(), 5);
+        assert!(e.connected(NodeId(0), NodeId(2)));
+        assert!(!e.connected(NodeId(0), NodeId(3)));
+        // Bridging edge between committed nodes: dirty fast path.
+        e.add_edge(NodeId(2), NodeId(3), ());
+        assert_eq!(e.dirty_node_count(), 2);
+        e.commit();
+        assert_eq!(e.components(), 1);
+        assert_eq!(e.csr(), &CsrGraph::from_graph(e.graph()));
+    }
+
+    #[test]
+    fn clean_commit_still_advances_the_epoch() {
+        let mut g: EpochGraph<(), ()> = EpochGraph::default();
+        assert_eq!(g.commit(), 1);
+        assert_eq!(g.commit(), 2);
+        assert_eq!(g.csr().node_count(), 0);
+    }
+}

@@ -52,6 +52,7 @@
 pub mod betweenness;
 pub mod csr;
 pub mod degree;
+pub mod epoch;
 pub mod flow;
 pub mod graph;
 pub mod io;
@@ -65,6 +66,7 @@ pub mod tree;
 pub mod unionfind;
 
 pub use csr::CsrGraph;
+pub use epoch::EpochGraph;
 pub use graph::{EdgeId, Graph, NodeId};
 pub use tree::RootedTree;
 pub use unionfind::UnionFind;

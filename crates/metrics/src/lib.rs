@@ -41,6 +41,7 @@ pub mod powerlaw;
 pub mod report;
 pub mod resilience;
 pub mod robustness;
+pub mod rolling;
 pub mod spectral;
 pub mod surrogate;
 pub mod utilization;

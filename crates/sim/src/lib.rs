@@ -23,6 +23,7 @@
 pub mod bgp;
 pub mod cascade;
 pub mod demand;
+pub mod evolve;
 pub mod failure;
 pub mod probe;
 pub mod routing;

@@ -447,6 +447,9 @@ fn mark_subset_hops(
     let n = tree.dist.len();
     let parents_n = tree.parent_nodes();
     let parents_e = tree.parent_edges();
+    // The vantage observes itself even when every probe times out
+    // (`infer_map` sets the source bit before probing anything).
+    set_bit(&mut part.node_words, tree.source.index());
     for &dst in dests {
         if dst.index() >= n {
             continue; // unrouted prefix, like infer_map
@@ -466,7 +469,6 @@ fn mark_subset_hops(
             set_bit(&mut part.edge_words, parents_e[cur.index()].index());
             cur = parents_n[cur.index()];
         }
-        set_bit(&mut part.node_words, tree.source.index());
     }
 }
 
@@ -483,6 +485,9 @@ fn mark_subset_latency(
         Some(&s) => NodeId(s),
         None => return,
     };
+    // The vantage observes itself even when every probe times out
+    // (`infer_map` sets the source bit before probing anything).
+    set_bit(&mut part.node_words, source.index());
     for &dst in dests {
         if dst.index() >= n {
             continue;
@@ -503,7 +508,6 @@ fn mark_subset_latency(
             set_bit(&mut part.edge_words, dj.parent_edge[cur.index()].index());
             cur = dj.parent_node[cur.index()];
         }
-        set_bit(&mut part.node_words, source.index());
     }
 }
 

@@ -1,0 +1,146 @@
+//! Differential suite for the temporal engine: the incremental paths
+//! must be *bit-identical* to their from-scratch references at every
+//! epoch — the incremental CSR commit vs [`CsrGraph::from_graph`], the
+//! rolling degree tracker vs a cold rebuild of the final sequence, the
+//! delta-aware Brandes–Pich estimate vs a cold pivot draw over the same
+//! stream — and at every thread count (the 1-vs-8 sweep below). This is
+//! the contract that lets E20 report per-epoch analytics off deltas
+//! without ever recomputing from scratch.
+
+use hotgen::econ::trend::TechTrend;
+use hotgen::graph::csr::CsrGraph;
+use hotgen::graph::graph::EdgeId;
+use hotgen::graph::parallel::par_betweenness_sampled;
+use hotgen::metrics::rolling::{DeltaBetweenness, RollingDegrees};
+use hotgen::sim::evolve::{
+    DegreeGrowth, Evolution, EvolveConfig, GrowthModel, HotGrowth, HotGrowthConfig,
+};
+
+const BW_SEED: u64 = 0xE20_B7EE;
+const STRIDE: u64 = 3;
+
+fn schedule(epochs: u64) -> EvolveConfig {
+    EvolveConfig {
+        epochs,
+        arrivals_per_epoch: 25,
+        trend: TechTrend::dotcom(),
+        reopt_interval: 3,
+        seed: 20030617,
+    }
+}
+
+/// Drives two identically seeded evolutions — one committing
+/// incrementally, one rebuilding from scratch — and checks every
+/// view and every rolling metric for bit-identity at every epoch.
+fn assert_equivalence<M: GrowthModel>(mk: impl Fn() -> M, epochs: u64) {
+    let cfg = schedule(epochs);
+    let mut inc = Evolution::new(mk(), cfg.clone());
+    let mut full = Evolution::new(mk(), cfg);
+    // Rolling trackers ride the incremental run only.
+    let mut degs = RollingDegrees::from_degrees(&inc.graph().csr().degree_sequence());
+    let mut bw = DeltaBetweenness::new(BW_SEED, STRIDE);
+    bw.update(inc.graph().csr(), 1);
+    for step in 0..epochs {
+        let a = inc.step();
+        let b = full.step_reference();
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.new_nodes, b.new_nodes, "epoch {}", step);
+        assert_eq!(a.new_edges, b.new_edges, "epoch {}", step);
+        assert_eq!(a.reopt_links, b.reopt_links, "epoch {}", step);
+        // The committed views: incremental vs from-scratch vs a cold
+        // rebuild of the live graph. CsrGraph is PartialEq over its
+        // raw arrays, so equality here is bit-identity.
+        assert_eq!(inc.graph().csr(), full.graph().csr(), "epoch {}", step);
+        assert_eq!(
+            inc.graph().csr(),
+            &CsrGraph::from_graph(inc.graph().graph()),
+            "epoch {}",
+            step
+        );
+        // Rolling degrees, updated from the delta alone, vs a cold
+        // tracker built off the reference run's committed view.
+        degs.grow_to(inc.graph().node_count());
+        for e in a.new_edges.clone() {
+            let (x, y) = inc.graph().graph().edge_endpoints(EdgeId(e as u32));
+            degs.add_edge(x.index(), y.index());
+        }
+        let scratch = RollingDegrees::from_degrees(&full.graph().csr().degree_sequence());
+        assert_eq!(degs.degrees(), scratch.degrees(), "epoch {}", step);
+        assert_eq!(degs.hist(), scratch.hist(), "epoch {}", step);
+        assert_eq!(degs.edge_count(), scratch.edge_count());
+        assert_eq!(degs.max_degree(), scratch.max_degree());
+        assert_eq!(
+            degs.mean_degree().to_bits(),
+            scratch.mean_degree().to_bits()
+        );
+        for k in [1, 2, 4, 8, 32] {
+            assert_eq!(degs.ccdf_at(k).to_bits(), scratch.ccdf_at(k).to_bits());
+        }
+        // Delta-aware betweenness: the streamed tracker at 1 thread vs
+        // a cold pivot draw over the reference view at 8 threads.
+        let n = inc.graph().node_count();
+        let streamed = bw.update(inc.graph().csr(), 1).to_vec();
+        let cold_pivots = DeltaBetweenness::pivots_for(BW_SEED, STRIDE, n);
+        assert_eq!(bw.pivot_count(), cold_pivots.len(), "stream = cold draw");
+        let cold = par_betweenness_sampled(full.graph().csr(), &cold_pivots, 8);
+        assert_eq!(streamed.len(), cold.len());
+        for (i, (x, y)) in streamed.iter().zip(&cold).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "betweenness diverges at node {} epoch {}",
+                i,
+                step
+            );
+        }
+    }
+}
+
+#[test]
+fn hot_evolution_incremental_is_bit_exact() {
+    assert_equivalence(
+        || {
+            HotGrowth::new(HotGrowthConfig {
+                cities: 6,
+                degree_cap: 8,
+                ..HotGrowthConfig::default()
+            })
+        },
+        10,
+    );
+}
+
+#[test]
+fn ba_control_incremental_is_bit_exact() {
+    assert_equivalence(|| DegreeGrowth::ba(2), 8);
+}
+
+#[test]
+fn glp_control_incremental_is_bit_exact() {
+    assert_equivalence(|| DegreeGrowth::glp(2), 8);
+}
+
+/// The acceptance gate's other half: the full E20 golden report is
+/// byte-identical at 1 and 8 threads (the engine is serial; the
+/// analytics run on the fixed-chunk scheduler).
+#[test]
+fn e20_report_is_byte_identical_across_thread_counts() {
+    use hot_exp::registry::{RunCtx, Scale};
+    use hot_exp::scenarios::e20;
+    let run = |threads| {
+        let ctx = RunCtx {
+            scale: Scale::Golden,
+            seed: hot_exp::SEED,
+            threads,
+            snapshot_dir: None,
+        };
+        e20::run(&e20::Params::golden(), ctx).to_json().pretty()
+    };
+    let one = run(1);
+    let eight = run(8);
+    assert_eq!(one, eight, "E20 must not depend on thread count");
+    assert!(
+        one.contains("\"epochs\": 24"),
+        "golden preset runs 24 epochs"
+    );
+}

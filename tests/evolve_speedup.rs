@@ -1,0 +1,167 @@
+//! The acceptance bar for the epoch engine: per-epoch maintenance via
+//! the incremental path (dirty-region CSR commit + live union-find
+//! components + rolling degree stats) must beat the from-scratch
+//! recompute (full `CsrGraph::from_graph` + BFS component count + cold
+//! degree rebuild) by ≥ 2× — with the committed views bit-identical at
+//! every epoch.
+//!
+//! Like the other `*_speedup.rs` gates, this is a *timing* test and
+//! lives alone in its own test binary. Debug builds drop the sizes and
+//! assert equivalence only; the timing gate arms in release on ≥ 4
+//! cores (the release CI job).
+
+use hotgen::baselines::ba;
+use hotgen::graph::csr::CsrGraph;
+use hotgen::graph::epoch::EpochGraph;
+use hotgen::graph::graph::NodeId;
+use hotgen::graph::parallel::default_threads;
+use hotgen::metrics::rolling::RollingDegrees;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// One epoch's mutation script: leaf arrivals (node + uplink to an
+/// existing router) and reinforcement edges between existing routers.
+struct EpochScript {
+    arrivals: Vec<u32>,
+    reinforcements: Vec<(u32, u32)>,
+}
+
+fn scripts(base_n: usize, epochs: usize, rng: &mut StdRng) -> Vec<EpochScript> {
+    let mut n = base_n;
+    (0..epochs)
+        .map(|_| {
+            let arrivals: Vec<u32> = (0..60)
+                .map(|_| {
+                    let t = rng.random_range(0..n) as u32;
+                    n += 1;
+                    t
+                })
+                .collect();
+            let reinforcements: Vec<(u32, u32)> = (0..150)
+                .map(|_| {
+                    let a = rng.random_range(0..base_n) as u32;
+                    let b = rng.random_range(0..base_n) as u32;
+                    (a, b)
+                })
+                .filter(|&(a, b)| a != b)
+                .collect();
+            EpochScript {
+                arrivals,
+                reinforcements,
+            }
+        })
+        .collect()
+}
+
+fn apply(g: &mut EpochGraph<(), ()>, s: &EpochScript) {
+    for &t in &s.arrivals {
+        let v = g.add_node(());
+        g.add_edge(NodeId(t), v, ());
+    }
+    for &(a, b) in &s.reinforcements {
+        g.add_edge(NodeId(a), NodeId(b), ());
+    }
+}
+
+/// Component count the from-scratch way: BFS sweep over the CSR.
+fn bfs_components(csr: &CsrGraph) -> usize {
+    let n = csr.node_count();
+    let mut seen = vec![false; n];
+    let mut stack = Vec::new();
+    let mut comps = 0;
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        comps += 1;
+        seen[s] = true;
+        stack.push(s as u32);
+        while let Some(v) = stack.pop() {
+            for u in csr.neighbors(NodeId(v)) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    stack.push(u.0);
+                }
+            }
+        }
+    }
+    comps
+}
+
+#[test]
+fn incremental_epoch_maintenance_speedup() {
+    let (base_n, epochs) = if cfg!(debug_assertions) {
+        (8_000, 6)
+    } else {
+        (120_000, 30)
+    };
+    let mut rng = StdRng::seed_from_u64(20030617);
+    let base = ba::generate(base_n, 2, &mut rng);
+    let script = scripts(base_n, epochs, &mut rng);
+    let mut inc = EpochGraph::new(base.clone());
+    let mut full = EpochGraph::new(base);
+    let mut inc_degs = RollingDegrees::from_degrees(&inc.csr().degree_sequence());
+    let mut inc_time = Duration::ZERO;
+    let mut full_time = Duration::ZERO;
+    let mut checksum = (0usize, 0u64);
+    for s in &script {
+        apply(&mut inc, s);
+        apply(&mut full, s);
+        let pending = inc.pending_edges();
+
+        // Incremental maintenance: dirty-region commit, O(1) component
+        // count off the live union-find, delta degree update.
+        let t0 = Instant::now();
+        inc.commit();
+        let comps_inc = inc.components();
+        inc_degs.grow_to(inc.node_count());
+        for e in pending {
+            let (a, b) = inc
+                .graph()
+                .edge_endpoints(hotgen::graph::graph::EdgeId(e as u32));
+            inc_degs.add_edge(a.index(), b.index());
+        }
+        let stats_inc = (inc_degs.max_degree(), inc_degs.mean_degree());
+        inc_time += t0.elapsed();
+
+        // From-scratch maintenance: full rebuild, BFS components, cold
+        // degree stats.
+        let t1 = Instant::now();
+        full.commit_full();
+        let comps_full = bfs_components(full.csr());
+        let full_degs = RollingDegrees::from_degrees(&full.csr().degree_sequence());
+        let stats_full = (full_degs.max_degree(), full_degs.mean_degree());
+        full_time += t1.elapsed();
+
+        // Exact agreement, always.
+        assert_eq!(inc.csr(), full.csr());
+        assert_eq!(comps_inc, comps_full);
+        assert_eq!(stats_inc.0, stats_full.0);
+        assert_eq!(stats_inc.1.to_bits(), stats_full.1.to_bits());
+        checksum = (comps_inc, checksum.1 ^ stats_inc.1.to_bits());
+    }
+    assert_eq!(
+        checksum.0, 1,
+        "BA base plus attached arrivals stays connected"
+    );
+
+    let threads = default_threads();
+    let speedup = full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9);
+    println!(
+        "epoch maintenance over {} epochs on {} base nodes: incremental {:.3}s, \
+         from-scratch {:.3}s, speedup {:.2}x",
+        epochs,
+        base_n,
+        inc_time.as_secs_f64(),
+        full_time.as_secs_f64(),
+        speedup
+    );
+    if !cfg!(debug_assertions) && threads >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x incremental vs from-scratch epoch maintenance, measured {:.2}x",
+            speedup
+        );
+    }
+}

@@ -109,6 +109,7 @@ golden! {
     golden_e17_policy_routing => "e17",
     golden_e18_te_cascade => "e18",
     golden_e19_probe_bias => "e19",
+    golden_e20_temporal_growth => "e20",
 }
 
 /// The registry and the golden directory must stay in one-to-one

@@ -413,6 +413,40 @@ proptest! {
         );
     }
 
+    /// Regression (promoted from a one-off review scratch test): probe
+    /// inference on *sparse* graphs — where most nodes are isolated, so
+    /// the strided vantage set lands on degree-0 routers — with
+    /// destination lists that run past the node range. The batched
+    /// engine must agree with the per-vantage reference on the full
+    /// map, and neither side may panic on the out-of-range ids.
+    #[test]
+    fn probe_inference_handles_isolated_vantages_and_oob_destinations(
+        n in 4usize..48,
+        pairs in proptest::collection::vec((0usize..48, 0usize..48), 1..5),
+        k in 2usize..9,
+        overrun in 1usize..6,
+        threads in 1usize..5,
+    ) {
+        use hotgen::sim::probe::infer_map_batched;
+        use hotgen::sim::traceroute::{infer_map, strided_vantages};
+        // 1..4 edges on up to 48 nodes: almost every vantage is isolated.
+        let g = weighted_fixture(n, &pairs);
+        let vantages = strided_vantages(&g, k);
+        let dests: Vec<NodeId> = (0..n + overrun).step_by(3).map(|v| NodeId(v as u32)).collect();
+        let reference = infer_map(&g, &vantages, Some(&dests), |&w| w);
+        let batched = infer_map_batched(&g, &vantages, Some(&dests), |&w| w, threads).map;
+        prop_assert_eq!(&batched.node_seen, &reference.node_seen, "node masks diverge");
+        prop_assert_eq!(&batched.edge_seen, &reference.edge_seen, "edge masks diverge");
+        prop_assert_eq!(
+            batched.node_coverage.to_bits(),
+            reference.node_coverage.to_bits()
+        );
+        prop_assert_eq!(
+            batched.edge_coverage.to_bits(),
+            reference.edge_coverage.to_bits()
+        );
+    }
+
     /// Campaign maps are subgraphs of the truth (every observed link
     /// has both endpoints observed, every in-range vantage observes
     /// itself) and growing the vantage set only ever grows the map.
@@ -461,5 +495,134 @@ proptest! {
             }
             prev_edges = Some(out.map.edge_seen);
         }
+    }
+}
+
+/// A growth-only mutation schedule for the epoch-API properties: per
+/// epoch, a few arrivals (each wired to an existing node) plus a few
+/// reinforcement edges between existing nodes, all derived from the
+/// proptest-drawn pair list.
+fn run_epoch_schedule(
+    seed_nodes: usize,
+    epochs: &[Vec<(usize, usize)>],
+    mut per_epoch: impl FnMut(&mut hotgen::graph::epoch::EpochGraph<(), ()>),
+) {
+    use hotgen::graph::epoch::EpochGraph;
+    let mut seed: Graph<(), ()> = Graph::new();
+    for _ in 0..seed_nodes {
+        seed.add_node(());
+    }
+    for i in 1..seed_nodes {
+        seed.add_edge(NodeId((i - 1) as u32), NodeId(i as u32), ());
+    }
+    let mut g = EpochGraph::new(seed);
+    for ops in epochs {
+        for &(a, b) in ops {
+            if a % 3 == 0 {
+                // An arrival: new node wired to an existing one.
+                let t = NodeId((b % g.node_count()) as u32);
+                let v = g.add_node(());
+                g.add_edge(t, v, ());
+            } else {
+                // Reinforcement between existing nodes.
+                let x = NodeId((a % g.node_count()) as u32);
+                let y = NodeId((b % g.node_count()) as u32);
+                if x != y {
+                    g.add_edge(x, y, ());
+                }
+            }
+        }
+        g.commit();
+        per_epoch(&mut g);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Growth-only schedules only grow: committed node/edge counts are
+    /// monotone non-decreasing, the epoch counter ticks once per
+    /// commit, and the committed view always matches a from-scratch
+    /// rebuild of the live graph.
+    #[test]
+    fn epoch_counts_are_monotone_under_growth(
+        seed_nodes in 2usize..12,
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((0usize..64, 0usize..64), 0..12),
+            1..8,
+        ),
+    ) {
+        let mut prev = (0usize, 0usize, 0u64);
+        let mut first = true;
+        run_epoch_schedule(seed_nodes, &epochs, |g| {
+            assert!(!g.is_dirty(), "commit clears the dirty set");
+            let now = (g.committed_node_count(), g.committed_edge_count(), g.epoch());
+            assert_eq!(now.0, g.node_count());
+            assert_eq!(now.1, g.edge_count());
+            if !first {
+                assert!(now.0 >= prev.0, "node count shrank");
+                assert!(now.1 >= prev.1, "edge count shrank");
+                assert_eq!(now.2, prev.2 + 1, "epoch must tick once per commit");
+            }
+            assert_eq!(g.csr(), &CsrGraph::from_graph(g.graph()));
+            first = false;
+            prev = now;
+        });
+    }
+
+    /// The live union-find agrees with BFS reachability after every
+    /// epoch: same component count, and `connected(a, b)` answers
+    /// exactly like component labels from a BFS sweep.
+    #[test]
+    fn epoch_connectivity_matches_bfs_reachability(
+        seed_nodes in 2usize..12,
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((0usize..64, 0usize..64), 0..12),
+            1..8,
+        ),
+    ) {
+        use hotgen::graph::traversal::connected_components;
+        run_epoch_schedule(seed_nodes, &epochs, |g| {
+            let labels = connected_components(g.graph());
+            let bfs_comps = labels.iter().collect::<std::collections::HashSet<_>>().len();
+            assert_eq!(g.components(), bfs_comps, "union-find vs BFS component count");
+            let n = g.node_count();
+            for a in (0..n).step_by(3) {
+                for b in (0..n).step_by(5) {
+                    assert_eq!(
+                        g.connected(NodeId(a as u32), NodeId(b as u32)),
+                        labels[a] == labels[b],
+                        "connected({}, {}) disagrees with BFS", a, b
+                    );
+                }
+            }
+        });
+    }
+
+    /// Mid-evolution state survives a binary snapshot round-trip: at
+    /// every epoch, the committed CSR serialized through
+    /// `Snapshot::to_bytes`/`from_bytes` (with a node column carrying
+    /// the epoch stamp) comes back bit-identical — so an evolution can
+    /// be checkpointed and resumed from disk at any epoch boundary.
+    #[test]
+    fn epoch_state_roundtrips_through_snapshots(
+        seed_nodes in 2usize..10,
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((0usize..64, 0usize..64), 0..10),
+            1..6,
+        ),
+    ) {
+        use hotgen::graph::io::Snapshot;
+        run_epoch_schedule(seed_nodes, &epochs, |g| {
+            let mut snap = Snapshot::new(g.csr().clone());
+            snap.node_u32.push((
+                "epoch".to_string(),
+                vec![g.epoch() as u32; g.node_count()],
+            ));
+            let restored = Snapshot::from_bytes(&snap.to_bytes())
+                .expect("round-trip of a freshly written snapshot");
+            assert_eq!(&restored, &snap, "snapshot round-trip must be lossless");
+            assert_eq!(&restored.csr, g.csr());
+        });
     }
 }
